@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the table/figure it regenerates so that running
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's evaluation
+artifacts textually.  Heavy instances (the ones that took Z3 minutes and
+take the pure-Python solver correspondingly longer) only run when the
+``SCCL_FULL=1`` environment variable is set; the default configuration keeps
+the whole benchmark suite in the minutes range.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("SCCL_FULL", "0") not in ("", "0", "false", "no")
+
+
+#: Per-instance synthesis time budget (seconds) for benchmark runs.
+def synthesis_budget() -> float:
+    return float(os.environ.get("SCCL_TIME_LIMIT", "300" if full_scale() else "90"))
+
+
+@pytest.fixture(scope="session")
+def dgx1_topology():
+    from repro.topology import dgx1
+
+    return dgx1()
+
+
+@pytest.fixture(scope="session")
+def amd_topology():
+    from repro.topology import amd_z52
+
+    return amd_z52()
+
+
+def report(title: str, text: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}\n")

@@ -1,0 +1,68 @@
+"""Ablation: cardinality encoder choice inside the C5 bandwidth constraints.
+
+DESIGN.md calls out the cardinality/totalizer encoders as a design choice of
+the SMT-lite substrate (Z3 handles pseudo-Boolean sums natively; we compile
+them to CNF).  This benchmark measures the sequential counter against the
+totalizer and the pairwise encoding on the at-most-k queries the synthesis
+encoding generates.
+"""
+
+import pytest
+
+from conftest import report
+from repro.solver import CNF, SATSolver, SolveResult
+from repro.solver import encoders
+
+
+def _build_formula(method: str, n: int, k: int, force: int) -> CNF:
+    cnf = CNF()
+    xs = cnf.new_vars(n)
+    if method == "pairwise" and k == 1:
+        encoders.at_most_one(cnf, xs, method="pairwise")
+    else:
+        encoders.at_most_k(cnf, xs, k, method=method)
+    # Force `force` of the inputs true: SAT iff force <= k.
+    for lit in xs[:force]:
+        cnf.add_clause([lit])
+    return cnf
+
+
+@pytest.mark.parametrize("method", ["sequential", "totalizer"])
+def test_at_most_k_encoders_sat(benchmark, method):
+    def run():
+        cnf = _build_formula(method, n=96, k=2, force=2)
+        solver = SATSolver()
+        solver.add_cnf(cnf)
+        return solver.solve(), cnf
+
+    (result, cnf) = benchmark(run)
+    assert result is SolveResult.SAT
+    report(
+        f"Cardinality ablation ({method}, n=96, k=2, SAT)",
+        f"{cnf.num_vars} vars, {cnf.num_clauses} clauses",
+    )
+
+
+@pytest.mark.parametrize("method", ["sequential", "totalizer"])
+def test_at_most_k_encoders_unsat(benchmark, method):
+    def run():
+        cnf = _build_formula(method, n=96, k=2, force=3)
+        solver = SATSolver()
+        solver.add_cnf(cnf)
+        return solver.solve()
+
+    assert benchmark(run) is SolveResult.UNSAT
+
+
+@pytest.mark.parametrize("method", ["pairwise", "commander"])
+def test_at_most_one_encoders(benchmark, method):
+    def run():
+        cnf = CNF()
+        xs = cnf.new_vars(128)
+        encoders.at_most_one(cnf, xs, method=method)
+        cnf.add_clause([xs[7]])
+        solver = SATSolver()
+        solver.add_cnf(cnf)
+        return solver.solve()
+
+    assert benchmark(run) is SolveResult.SAT

@@ -1,0 +1,61 @@
+"""Ablation: lowering choices (Section 4) on the simulator.
+
+Compares the three lowering protocols — fused single kernel with push
+copies, one kernel per step, and per-step cudaMemcpy — for the NCCL ring
+Allgather across input sizes, reproducing the qualitative statements of
+Section 4 and the "(6,7,7) cudamemcpy" series of Figure 4.
+"""
+
+import pytest
+
+from conftest import report
+from repro.baselines import nccl_allgather
+from repro.evaluation import format_series
+from repro.runtime import PROTOCOLS, Simulator, lower
+from repro.topology import dgx1
+
+SIZES = [1 << 10, 1 << 16, 1 << 22, 1 << 28]
+
+
+@pytest.fixture(scope="module")
+def protocol_times():
+    topology = dgx1()
+    algorithm = nccl_allgather(topology)
+    simulator = Simulator(topology)
+    times = {}
+    for protocol in PROTOCOLS:
+        program = lower(algorithm, protocol=protocol)
+        times[protocol] = [simulator.simulate(program, size).total_time_s for size in SIZES]
+    report(
+        "Lowering ablation (NCCL ring Allgather, simulated seconds)",
+        format_series(times, SIZES, x_label="bytes", value_format="{:.6f}"),
+    )
+    return times
+
+
+def test_fused_kernel_wins_at_small_sizes(protocol_times):
+    assert protocol_times["single_kernel_push"][0] < protocol_times["multi_kernel_push"][0]
+    assert protocol_times["single_kernel_push"][0] < protocol_times["multi_kernel_memcpy"][0]
+
+
+def test_memcpy_wins_at_large_sizes(protocol_times):
+    assert protocol_times["multi_kernel_memcpy"][-1] < protocol_times["single_kernel_push"][-1]
+
+
+def test_per_step_kernels_always_cost_more_than_fused(protocol_times):
+    for fused, multi in zip(protocol_times["single_kernel_push"], protocol_times["multi_kernel_push"]):
+        assert multi >= fused
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_lowering_benchmark(benchmark, protocol, protocol_times):
+    # Depending on protocol_times ensures the ablation table above is printed
+    # even under --benchmark-only (which skips fixture-less tests).
+    topology = dgx1()
+    algorithm = nccl_allgather(topology)
+
+    def run():
+        return lower(algorithm, protocol=protocol)
+
+    program = benchmark(run)
+    assert program.num_steps == 7

@@ -1,0 +1,60 @@
+"""Figure 5: Allreduce speedup over NCCL on the DGX-1 across input sizes.
+
+Allreduce algorithms are derived from synthesized Allgathers (Reducescatter
++ Allgather, Section 3.5) and compared against NCCL's 6-ring Allreduce
+(48, 14, 14).  Shape checks follow the paper: the 1-chunk (latency-optimal)
+algorithm wins for small inputs, NCCL competes in the middle range, and the
+bandwidth-optimal schedule tracks NCCL closely at large sizes.
+"""
+
+import pytest
+
+from conftest import full_scale, report, synthesis_budget
+from repro.evaluation import figure5_allreduce_dgx1
+
+DEFAULT_POINTS = [(1, 2, 2), (4, 5, 5)]
+FULL_POINTS = [(1, 2, 2), (4, 5, 5), (5, 6, 6), (6, 7, 7)]
+
+
+@pytest.fixture(scope="module")
+def figure5():
+    points = FULL_POINTS if full_scale() else DEFAULT_POINTS
+    result = figure5_allreduce_dgx1(points=points, time_limit=synthesis_budget())
+    report("Figure 5 (Allreduce vs NCCL, DGX-1)", result.render())
+    return result
+
+
+def test_figure5_series_present(figure5):
+    assert "(1,2,2)" in figure5.series, figure5.skipped
+    assert "(4,5,5)" in figure5.series, figure5.skipped
+
+
+def test_figure5_one_chunk_algorithm_wins_small_sizes(figure5):
+    assert figure5.series["(1,2,2)"][0] > 1.0
+
+
+def test_figure5_one_chunk_algorithm_loses_large_sizes(figure5):
+    assert figure5.series["(1,2,2)"][-1] < 1.0
+
+
+def test_figure5_bandwidth_heavy_series_track_nccl_at_large_sizes(figure5):
+    label = "(6,7,7)" if "(6,7,7)" in figure5.series else "(4,5,5)"
+    assert figure5.series[label][-1] > 0.8
+
+
+def test_figure5_derivation_benchmark(benchmark):
+    """Benchmark the Reducescatter+Allgather composition used by every series."""
+    from repro.core import allreduce_from_allgather, make_instance, synthesize
+    from repro.topology import dgx1
+
+    allgather = synthesize(
+        make_instance("Allgather", dgx1(), 1, 2, 2), time_limit=synthesis_budget()
+    ).algorithm
+
+    def derive():
+        allreduce = allreduce_from_allgather(allgather)
+        allreduce.verify()
+        return allreduce
+
+    allreduce = benchmark(derive)
+    assert allreduce.signature() == (8, 4, 4)

@@ -1,0 +1,79 @@
+"""Benchmarks of the SAT/SMT-lite substrate itself.
+
+These measure the components the synthesis pipeline spends its time in:
+CNF encoding of a DGX-1 instance, CDCL solving of structured SAT/UNSAT
+formulas, and end-to-end synthesis of the cheap Table 4 rows (which double
+as a regression guard on solver performance).
+"""
+
+import pytest
+
+from conftest import report
+from repro.core import ScclEncoding, make_instance, synthesize
+from repro.solver import CNF, SATSolver, SolveResult
+from repro.topology import dgx1, ring
+
+
+def pigeonhole(holes: int) -> CNF:
+    cnf = CNF()
+    var = {(p, h): cnf.new_var() for p in range(holes + 1) for h in range(holes)}
+    for p in range(holes + 1):
+        cnf.add_clause([var[p, h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(holes + 1):
+            for p2 in range(p1 + 1, holes + 1):
+                cnf.add_clause([-var[p1, h], -var[p2, h]])
+    return cnf
+
+
+def test_encode_dgx1_allgather(benchmark):
+    instance = make_instance("Allgather", dgx1(), 3, 4, 4)
+
+    def run():
+        encoder = ScclEncoding(instance)
+        encoder.encode()
+        return encoder
+
+    encoder = benchmark(run)
+    report(
+        "Encoding throughput (DGX-1 Allgather C=3 S=4)",
+        f"{encoder.stats.variables} vars, {encoder.stats.clauses} clauses",
+    )
+
+
+@pytest.mark.parametrize("holes", [5, 6])
+def test_cdcl_unsat_pigeonhole(benchmark, holes):
+    def run():
+        solver = SATSolver()
+        solver.add_cnf(pigeonhole(holes))
+        return solver.solve()
+
+    assert benchmark(run) is SolveResult.UNSAT
+
+
+def test_cdcl_structured_sat(benchmark):
+    instance = make_instance("Allgather", ring(6), 2, 5, 5)
+    encoder = ScclEncoding(instance)
+    ctx = encoder.encode()
+
+    def run():
+        solver = SATSolver()
+        solver.add_cnf(ctx.cnf)
+        return solver.solve()
+
+    assert benchmark(run) is SolveResult.SAT
+
+
+@pytest.mark.parametrize(
+    "chunks,steps,rounds",
+    [(1, 2, 2), (2, 2, 3), (2, 3, 3)],
+    ids=lambda v: str(v),
+)
+def test_synthesis_cheap_dgx1_rows(benchmark, chunks, steps, rounds):
+    instance = make_instance("Allgather", dgx1(), chunks, steps, rounds)
+
+    def run():
+        return synthesize(instance)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.is_sat

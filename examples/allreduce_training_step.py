@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Allreduce for data-parallel training: SCCL vs the NCCL ring baseline.
+
+The paper's introduction motivates SCCL with gradient Allreduce: buffers
+range from a few KB (a single layer) to GBs (a whole model), and 30% of
+Megatron-LM's training step is spent inside Allreduce.  This example builds
+both SCCL Allreduce algorithms (latency-optimal and a bandwidth-oriented
+one, derived from synthesized Allgathers per Section 3.5) plus NCCL's
+6-ring Allreduce, then sweeps the gradient-buffer sizes of a transformer
+model through the simulator to show where each algorithm wins — and how an
+input-size-switching library (the paper's Section 5.5 suggestion) would
+always match or beat the baseline.
+
+Run:  python examples/allreduce_training_step.py
+"""
+
+from repro.baselines import nccl_allreduce
+from repro.core import allreduce_from_allgather, make_instance, synthesize
+from repro.evaluation import format_table
+from repro.runtime import Simulator, execute, lower
+from repro.topology import dgx1
+
+# Per-layer gradient buffer sizes (bytes) for a GPT-2-like model with fp16
+# gradients: layer-norm vectors, attention projections, MLP blocks, and the
+# full-model fusion bucket.
+GRADIENT_BUFFERS = {
+    "layernorm (2.5 KB)": 2_560,
+    "attention qkv (7.1 MB)": 7_077_888,
+    "mlp block (9.4 MB)": 9_437_184,
+    "fused bucket (100 MB)": 100_000_000,
+    "full model (1.5 GB)": 1_500_000_000,
+}
+
+
+def main() -> None:
+    topology = dgx1()
+    simulator = Simulator(topology)
+
+    print("Synthesizing SCCL Allreduce algorithms (via Allgather inversion)...")
+    candidates = {}
+    for (chunks, steps, rounds) in [(1, 2, 2), (4, 5, 5)]:
+        result = synthesize(make_instance("Allgather", topology, chunks, steps, rounds),
+                            time_limit=120)
+        if not result.is_sat:
+            print(f"  ({chunks},{steps},{rounds}): {result.status.value}, skipping")
+            continue
+        allreduce = allreduce_from_allgather(result.algorithm)
+        allreduce.verify()
+        label = f"SCCL ({allreduce.chunks_per_node},{allreduce.num_steps},{allreduce.total_rounds})"
+        candidates[label] = allreduce
+        print(f"  {label}: synthesized in {result.total_time:.1f}s")
+
+    baseline = nccl_allreduce(topology)
+    print(f"  NCCL baseline: ({baseline.chunks_per_node},{baseline.num_steps},{baseline.total_rounds})")
+
+    # Sanity: every algorithm actually computes the Allreduce on real buffers.
+    for algorithm in list(candidates.values()) + [baseline]:
+        execute(lower(algorithm), algorithm)
+    print("functional check: all algorithms produce the correct reduction\n")
+
+    rows = []
+    for label, size in GRADIENT_BUFFERS.items():
+        nccl_time = simulator.simulate_algorithm(baseline, size).total_time_s
+        row = {"gradient buffer": label, "NCCL (us)": f"{nccl_time * 1e6:.1f}"}
+        best_label, best_time = "NCCL", nccl_time
+        for name, algorithm in candidates.items():
+            t = simulator.simulate_algorithm(algorithm, size).total_time_s
+            row[f"{name} speedup"] = f"{nccl_time / t:.2f}x"
+            if t < best_time:
+                best_label, best_time = name, t
+        row["library pick"] = best_label
+        rows.append(row)
+
+    print(format_table(rows, title="Allreduce on DGX-1: simulated time vs NCCL per gradient buffer"))
+    print("\nSmall layers favour the latency-optimal algorithm; large fused buckets")
+    print("converge to the bandwidth-optimal schedules, matching Figure 5's shape.")
+
+
+if __name__ == "__main__":
+    main()

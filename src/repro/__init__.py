@@ -1,0 +1,39 @@
+"""SCCL reproduction: synthesizing optimal collective communication algorithms.
+
+This package reproduces "Synthesizing Optimal Collective Algorithms"
+(Cai, Liu, Maleki, Musuvathi, Mytkowicz, Nelson, Saarikivi — PPoPP 2021).
+
+Subpackages
+-----------
+``repro.solver``
+    CDCL SAT solver + SMT-lite layer (the Z3 substitute).
+``repro.topology``
+    Topology model, bandwidth relations, DGX-1 / Gigabyte Z52 and synthetic
+    topologies, diameter / bisection-bandwidth analysis.
+``repro.collectives``
+    Pre/post-condition relations and collective specifications (Tables 1, 2).
+``repro.core``
+    The paper's contribution: SynColl instances, the SMT encoding (C1–C6),
+    algorithm semantics/verification, Pareto-optimal synthesis (Algorithm 1),
+    the combining-collective reduction and the alpha-beta cost model.
+``repro.runtime``
+    Lowering to per-rank programs, functional execution on numpy buffers,
+    a discrete-event alpha-beta interconnect simulator, and a CUDA-like
+    source emitter (the hardware substitute).
+``repro.baselines``
+    NCCL / RCCL style ring, tree and pipelined schedules (Table 3).
+``repro.evaluation``
+    Harnesses regenerating every table and figure of the evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "solver",
+    "topology",
+    "collectives",
+    "core",
+    "runtime",
+    "baselines",
+    "evaluation",
+]

@@ -1,0 +1,49 @@
+"""Hand-written baseline algorithms: NCCL / RCCL rings, pipelines and trees."""
+
+from .nccl import (
+    BaselineEntry,
+    nccl_allgather,
+    nccl_allreduce,
+    nccl_baseline,
+    nccl_broadcast,
+    nccl_reduce,
+    nccl_reducescatter,
+    nccl_table3,
+    rccl_allgather,
+    rccl_allreduce,
+    rccl_baseline,
+)
+from .pipelined import pipelined_broadcast, pipelined_reduce
+from .ring import (
+    RingError,
+    ring_allgather,
+    ring_allreduce,
+    ring_reduce_scatter,
+    single_ring,
+)
+from .tree import TreeError, bfs_tree, tree_broadcast, tree_reduce
+
+__all__ = [
+    "BaselineEntry",
+    "RingError",
+    "TreeError",
+    "bfs_tree",
+    "nccl_allgather",
+    "nccl_allreduce",
+    "nccl_baseline",
+    "nccl_broadcast",
+    "nccl_reduce",
+    "nccl_reducescatter",
+    "nccl_table3",
+    "pipelined_broadcast",
+    "pipelined_reduce",
+    "rccl_allgather",
+    "rccl_allreduce",
+    "rccl_baseline",
+    "ring_allgather",
+    "ring_allreduce",
+    "ring_reduce_scatter",
+    "single_ring",
+    "tree_broadcast",
+    "tree_reduce",
+]

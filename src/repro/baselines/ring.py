@@ -1,0 +1,134 @@
+"""Ring-based collective algorithms (the NCCL/RCCL baseline family).
+
+NCCL implements Allgather, Reducescatter and Allreduce on the DGX-1 by
+running ring algorithms over the 6 logical single-NVLink rings of the
+machine (Section 2.4, Table 3).  The same construction with 2 logical rings
+(one per direction of the physical ring) is what RCCL effectively does on
+the Gigabyte Z52.
+
+The builders here produce ordinary :class:`~repro.core.algorithm.Algorithm`
+objects, so baselines run through exactly the same verification, lowering
+and simulation pipeline as synthesized algorithms — which is what makes the
+Figure 4–6 comparisons apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..collectives import get_collective
+from ..core.algorithm import Algorithm, Send, Step
+from ..core.combining import allreduce_from_allgather, invert_algorithm
+from ..topology import Topology
+
+
+class RingError(Exception):
+    """Raised for invalid ring descriptions."""
+
+
+def _check_rings(topology: Topology, rings: Sequence[Sequence[int]]) -> None:
+    if not rings:
+        raise RingError("at least one ring is required")
+    nodes = set(topology.nodes())
+    for ring_order in rings:
+        if set(ring_order) != nodes:
+            raise RingError(
+                f"ring {list(ring_order)} does not cover every node of {topology.name!r}"
+            )
+        for i, node in enumerate(ring_order):
+            nxt = ring_order[(i + 1) % len(ring_order)]
+            if not topology.has_link(node, nxt):
+                raise RingError(
+                    f"ring uses non-existent link {node}->{nxt} on {topology.name!r}"
+                )
+
+
+def ring_allgather(
+    topology: Topology,
+    rings: Sequence[Sequence[int]],
+    name: Optional[str] = None,
+) -> Algorithm:
+    """The multi-ring Allgather: one chunk per node per ring, P-1 steps.
+
+    Each node splits its data into ``len(rings)`` chunks; chunk ``j`` of
+    every node circulates along ring ``j``.  At step ``t`` every node
+    forwards (along each ring) the chunk it received at step ``t - 1``.
+    The resulting algorithm has ``C = len(rings)``, ``S = R = P - 1``.
+    """
+    _check_rings(topology, rings)
+    num_nodes = topology.num_nodes
+    num_rings = len(rings)
+    spec = get_collective("Allgather")
+    pre = spec.precondition(num_nodes, num_rings)
+    post = spec.postcondition(num_nodes, num_rings)
+
+    steps: List[Step] = []
+    for t in range(num_nodes - 1):
+        sends: List[Send] = []
+        for ring_index, ring_order in enumerate(rings):
+            for position, node in enumerate(ring_order):
+                nxt = ring_order[(position + 1) % num_nodes]
+                # The chunk originating at the node `t` positions behind us
+                # (it arrived here at step t-1; at t=0 we send our own chunk).
+                origin = ring_order[(position - t) % num_nodes]
+                chunk = origin + num_nodes * ring_index
+                sends.append(Send(chunk=chunk, src=node, dst=nxt))
+        steps.append(Step(rounds=1, sends=tuple(sends)))
+
+    algorithm = Algorithm(
+        name=name or f"ring_allgather_{topology.name}_{num_rings}rings",
+        collective="Allgather",
+        topology=topology,
+        chunks_per_node=num_rings,
+        num_chunks=num_nodes * num_rings,
+        precondition=pre,
+        postcondition=post,
+        steps=steps,
+        combining=False,
+        metadata={"family": "ring", "rings": [list(r) for r in rings]},
+    )
+    algorithm.verify()
+    return algorithm
+
+
+def ring_reduce_scatter(
+    topology: Topology,
+    rings: Sequence[Sequence[int]],
+    name: Optional[str] = None,
+) -> Algorithm:
+    """Ring Reducescatter — the inversion of the ring Allgather (Section 3.5)."""
+    allgather = ring_allgather(topology, rings)
+    reducescatter = invert_algorithm(
+        allgather,
+        collective="Reducescatter",
+        name=name or f"ring_reducescatter_{topology.name}_{len(rings)}rings",
+    )
+    reducescatter.verify()
+    return reducescatter
+
+
+def ring_allreduce(
+    topology: Topology,
+    rings: Sequence[Sequence[int]],
+    name: Optional[str] = None,
+) -> Algorithm:
+    """Ring Allreduce = ring Reducescatter followed by ring Allgather.
+
+    On the DGX-1 this reproduces NCCL's (C=48, S=14, R=14) schedule from
+    Table 3.
+    """
+    allgather = ring_allgather(topology, rings)
+    allreduce = allreduce_from_allgather(
+        allgather, name=name or f"ring_allreduce_{topology.name}_{len(rings)}rings"
+    )
+    allreduce.verify()
+    return allreduce
+
+
+def single_ring(topology: Topology, order: Optional[Sequence[int]] = None) -> List[List[int]]:
+    """Helper producing the two directed logical rings of a physical ring topology."""
+    if order is None:
+        order = list(topology.nodes())
+    forward = list(order)
+    backward = list(reversed(order))
+    return [forward, backward]

@@ -1,0 +1,41 @@
+"""Collective primitive specifications and chunk-placement relations."""
+
+from .relations import (
+    Placement,
+    RelationError,
+    all_nodes,
+    chunk_count,
+    chunks_at,
+    is_function_of_chunk,
+    nodes_with,
+    root,
+    scattered,
+    transpose,
+)
+from .spec import (
+    COLLECTIVES,
+    CollectiveError,
+    CollectiveSpec,
+    combining_collectives,
+    get_collective,
+    non_combining_collectives,
+)
+
+__all__ = [
+    "COLLECTIVES",
+    "CollectiveError",
+    "CollectiveSpec",
+    "Placement",
+    "RelationError",
+    "all_nodes",
+    "chunk_count",
+    "chunks_at",
+    "combining_collectives",
+    "get_collective",
+    "is_function_of_chunk",
+    "nodes_with",
+    "non_combining_collectives",
+    "root",
+    "scattered",
+    "transpose",
+]

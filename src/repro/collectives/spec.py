@@ -1,0 +1,182 @@
+"""Collective primitive specifications (Table 2 of the paper).
+
+A :class:`CollectiveSpec` names a collective, says whether it *combines*
+data (reductions) or merely moves it, and knows how to produce the pre- and
+post-condition placements for a given topology size and per-node chunk
+count.  The mapping from the per-node chunk count ``C`` (what users and the
+evaluation tables talk about) to the global chunk count ``G`` used in the
+formalization is collective-dependent and implemented here:
+
+============== ============ ====================================
+Collective     pre → post   global chunks G for per-node count C
+============== ============ ====================================
+Gather         Scattered→Root        ``P * C``
+Allgather      Scattered→All         ``P * C``
+Alltoall       Scattered→Transpose   ``P * C``
+Broadcast      Root→All              ``C``
+Scatter        Root→Scattered        ``P * C``
+Reduce         (inverse of Broadcast)
+Reducescatter  (inverse of Allgather)
+Allreduce      (Reducescatter then Allgather)
+============== ============ ====================================
+
+For Alltoall the per-node count ``C`` is the number of chunks each node
+starts with (one or more destined to every peer); the paper's Table 4 rows
+``C = 8`` and ``C = 24`` correspond to 1 and 3 chunks per destination on
+the 8-GPU machines.  Destination assignment is balanced whenever ``C`` is a
+multiple of ``P``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from . import relations
+from .relations import Placement
+
+
+class CollectiveError(Exception):
+    """Raised for unknown collectives or invalid parameters."""
+
+
+@dataclass(frozen=True)
+class CollectiveSpec:
+    """Specification of a collective primitive.
+
+    Attributes
+    ----------
+    name:
+        Canonical name, e.g. ``"Allgather"``.
+    pre_relation / post_relation:
+        Names of Table 1 relations for non-combining collectives; ``None``
+        for combining collectives that are synthesized via reduction
+        (Section 3.5).
+    combining:
+        True for collectives that apply a reduction operation.
+    root_based:
+        True when the collective takes a root argument (Broadcast, Reduce,
+        Gather, Scatter).
+    inverse_of:
+        For combining collectives obtained by inversion: the name of the
+        non-combining collective whose algorithms are inverted.
+    """
+
+    name: str
+    pre_relation: Optional[str]
+    post_relation: Optional[str]
+    combining: bool = False
+    root_based: bool = False
+    inverse_of: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Chunk counting
+    # ------------------------------------------------------------------
+    def global_chunks(self, num_nodes: int, chunks_per_node: int) -> int:
+        """Convert a per-node chunk count ``C`` to the global count ``G``."""
+        if chunks_per_node < 0:
+            raise CollectiveError("negative chunk count")
+        if self.name in ("Broadcast", "Reduce"):
+            return chunks_per_node
+        if self.name in ("Allgather", "Gather", "Scatter", "Reducescatter", "Alltoall"):
+            return num_nodes * chunks_per_node
+        if self.name == "Allreduce":
+            # Allreduce is synthesized as Reducescatter + Allgather over the
+            # Allgather's chunks; each node contributes P * C chunks.
+            return num_nodes * chunks_per_node
+        raise CollectiveError(f"unknown collective {self.name!r}")
+
+    def per_node_chunks(self, num_nodes: int, global_chunks: int) -> int:
+        """Inverse of :meth:`global_chunks` (exact division enforced)."""
+        if self.name in ("Broadcast", "Reduce"):
+            return global_chunks
+        divisor = {
+            "Allgather": num_nodes,
+            "Gather": num_nodes,
+            "Scatter": num_nodes,
+            "Reducescatter": num_nodes,
+            "Allreduce": num_nodes,
+            "Alltoall": num_nodes,
+        }.get(self.name)
+        if divisor is None:
+            raise CollectiveError(f"unknown collective {self.name!r}")
+        if global_chunks % divisor:
+            raise CollectiveError(
+                f"{self.name}: global chunk count {global_chunks} is not a "
+                f"multiple of {divisor}"
+            )
+        return global_chunks // divisor
+
+    # ------------------------------------------------------------------
+    # Placements
+    # ------------------------------------------------------------------
+    def precondition(
+        self, num_nodes: int, chunks_per_node: int, root: int = 0
+    ) -> Placement:
+        if self.pre_relation is None:
+            raise CollectiveError(
+                f"{self.name} is a combining collective; synthesize it via "
+                f"its non-combining counterpart ({self.inverse_of})"
+            )
+        return self._relation(self.pre_relation, num_nodes, chunks_per_node, root)
+
+    def postcondition(
+        self, num_nodes: int, chunks_per_node: int, root: int = 0
+    ) -> Placement:
+        if self.post_relation is None:
+            raise CollectiveError(
+                f"{self.name} is a combining collective; synthesize it via "
+                f"its non-combining counterpart ({self.inverse_of})"
+            )
+        return self._relation(self.post_relation, num_nodes, chunks_per_node, root)
+
+    def _relation(
+        self, relation_name: str, num_nodes: int, chunks_per_node: int, root: int
+    ) -> Placement:
+        num_global = self.global_chunks(num_nodes, chunks_per_node)
+        builder = relations.RELATION_BUILDERS.get(relation_name)
+        if builder is None:
+            raise CollectiveError(f"unknown relation {relation_name!r}")
+        if relation_name == "Root":
+            return builder(num_global, num_nodes, root)
+        return builder(num_global, num_nodes)
+
+
+#: All collectives discussed by the paper.  Non-combining ones carry their
+#: Table 2 pre/post relations; combining ones point at the non-combining
+#: collective they are derived from (Section 3.5).
+COLLECTIVES: Dict[str, CollectiveSpec] = {
+    spec.name: spec
+    for spec in [
+        CollectiveSpec("Gather", "Scattered", "Root", root_based=True),
+        CollectiveSpec("Allgather", "Scattered", "All"),
+        CollectiveSpec("Alltoall", "Scattered", "Transpose"),
+        CollectiveSpec("Broadcast", "Root", "All", root_based=True),
+        CollectiveSpec("Scatter", "Root", "Scattered", root_based=True),
+        CollectiveSpec(
+            "Reduce", None, None, combining=True, root_based=True, inverse_of="Broadcast"
+        ),
+        CollectiveSpec(
+            "Reducescatter", None, None, combining=True, inverse_of="Allgather"
+        ),
+        CollectiveSpec("Allreduce", None, None, combining=True, inverse_of="Allgather"),
+    ]
+}
+
+
+def get_collective(name: str) -> CollectiveSpec:
+    """Look up a collective by (case-insensitive) name."""
+    for key, spec in COLLECTIVES.items():
+        if key.lower() == name.lower():
+            return spec
+    raise CollectiveError(
+        f"unknown collective {name!r}; known: {sorted(COLLECTIVES)}"
+    )
+
+
+def non_combining_collectives() -> List[CollectiveSpec]:
+    return [spec for spec in COLLECTIVES.values() if not spec.combining]
+
+
+def combining_collectives() -> List[CollectiveSpec]:
+    return [spec for spec in COLLECTIVES.values() if spec.combining]

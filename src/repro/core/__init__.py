@@ -1,0 +1,99 @@
+"""The paper's core contribution: synthesis of optimal collective algorithms.
+
+Public surface:
+
+* :func:`~repro.core.instance.make_instance` / :class:`~repro.core.instance.SynCollInstance`
+* :func:`~repro.core.synthesizer.synthesize` / :func:`~repro.core.synthesizer.synthesize_collective`
+* :func:`~repro.core.pareto.pareto_synthesize` (Algorithm 1)
+* :func:`~repro.core.combining.invert_algorithm`,
+  :func:`~repro.core.combining.allreduce_from_allgather`,
+  :func:`~repro.core.combining.synthesize_allreduce`,
+  :func:`~repro.core.combining.synthesize_reduce`,
+  :func:`~repro.core.combining.synthesize_reducescatter`
+* :class:`~repro.core.algorithm.Algorithm` and the cost-model helpers in
+  :mod:`repro.core.cost` / :mod:`repro.core.bounds`.
+"""
+
+from .algorithm import Algorithm, AlgorithmError, Send, Step
+from .bounds import (
+    BoundsError,
+    bandwidth_lower_bound,
+    latency_lower_bound,
+    lower_bounds,
+)
+from .combining import (
+    CombiningError,
+    allreduce_from_allgather,
+    invert_algorithm,
+    synthesize_allreduce,
+    synthesize_reduce,
+    synthesize_reducescatter,
+)
+from .cost import (
+    CostError,
+    CostPoint,
+    algorithm_cost,
+    best_algorithm_for_size,
+    cost_point,
+    crossover_size,
+    is_pareto_optimal,
+    pareto_frontier,
+    speedup,
+)
+from .encoding import EncodingError, EncodingStats, NaiveEncoding, ScclEncoding
+from .instance import InstanceError, SynCollInstance, make_instance
+from .pareto import (
+    ParetoError,
+    ParetoFrontier,
+    ParetoPoint,
+    candidate_set,
+    pareto_synthesize,
+)
+from .synthesizer import (
+    SynthesisError,
+    SynthesisResult,
+    synthesize,
+    synthesize_collective,
+)
+
+__all__ = [
+    "Algorithm",
+    "AlgorithmError",
+    "BoundsError",
+    "CombiningError",
+    "CostError",
+    "CostPoint",
+    "EncodingError",
+    "EncodingStats",
+    "InstanceError",
+    "NaiveEncoding",
+    "ParetoError",
+    "ParetoFrontier",
+    "ParetoPoint",
+    "ScclEncoding",
+    "Send",
+    "Step",
+    "SynCollInstance",
+    "SynthesisError",
+    "SynthesisResult",
+    "algorithm_cost",
+    "allreduce_from_allgather",
+    "bandwidth_lower_bound",
+    "best_algorithm_for_size",
+    "candidate_set",
+    "cost_point",
+    "crossover_size",
+    "invert_algorithm",
+    "is_pareto_optimal",
+    "latency_lower_bound",
+    "lower_bounds",
+    "make_instance",
+    "pareto_frontier",
+    "pareto_synthesize",
+    "speedup",
+    "synthesize",
+    "synthesize_allreduce",
+    "synthesize_collective",
+    "synthesize_reduce",
+    "synthesize_reducescatter",
+]

@@ -1,0 +1,516 @@
+"""SMT encoding of the SynColl synthesis problem (Section 3.4).
+
+Two encodings are provided:
+
+* :class:`ScclEncoding` — the paper's scalable encoding.  It splits the
+  send set ``T`` into per-(chunk, node) arrival *times* and step-less send
+  Booleans, exactly as described in Section 3.4:
+
+  - ``time[c, n]`` — an order-encoded integer giving the earliest step at
+    which chunk ``c`` is available on node ``n`` (domain ``0 .. S+1`` where
+    ``S+1`` means "never within this algorithm"),
+  - ``snd[n, c, n']`` — a Boolean saying node ``n`` sends chunk ``c`` to
+    ``n'`` at some step,
+  - ``r[s]`` — the number of rounds performed in step ``s``.
+
+  Constraints C1–C6 from the paper are asserted over these variables.  The
+  role Z3's theory of linear integer arithmetic plays in the paper is
+  played here by the order encoding plus cardinality/totalizer encoders
+  (:mod:`repro.solver.encoders`), which is an exact finite-domain
+  compilation of the same constraints.
+
+* :class:`NaiveEncoding` — the "Boolean variable for every tuple
+  ``(c, n, n', s)``" encoding the paper reports as not scaling
+  (Section 5.4.3).  It is retained for the encoding ablation benchmark.
+
+Both encodings expose ``encode()`` producing an :class:`SmtLite` context
+and ``decode(model)`` mapping a satisfying assignment back to an
+:class:`~repro.core.algorithm.Algorithm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..solver import IntVar, SmtLite
+from ..topology import shortest_path_lengths
+from .algorithm import Algorithm, Send, Step
+from .instance import SynCollInstance
+
+
+class EncodingError(Exception):
+    """Raised when an instance cannot be encoded (e.g. unreachable chunk)."""
+
+
+def _chunk_sources(instance: SynCollInstance) -> Dict[int, List[int]]:
+    sources: Dict[int, List[int]] = {c: [] for c in range(instance.num_chunks)}
+    for (chunk, node) in instance.precondition:
+        sources[chunk].append(node)
+    return sources
+
+
+def _chunk_distances(instance: SynCollInstance) -> Dict[Tuple[int, int], Optional[int]]:
+    """dist[c, n]: minimum steps for chunk c to reach node n (None if unreachable)."""
+    distances = shortest_path_lengths(instance.topology)
+    sources = _chunk_sources(instance)
+    result: Dict[Tuple[int, int], Optional[int]] = {}
+    for chunk in range(instance.num_chunks):
+        for node in instance.topology.nodes():
+            best: Optional[int] = None
+            for src in sources[chunk]:
+                d = distances.get(src, {}).get(node)
+                if d is not None and (best is None or d < best):
+                    best = d
+            result[(chunk, node)] = best
+    return result
+
+
+def _destination_distances(instance: SynCollInstance) -> Dict[Tuple[int, int], Optional[int]]:
+    """need_dist[c, n]: minimum steps from node n to any node that needs chunk c.
+
+    Used to prune send variables: holding chunk ``c`` at node ``n`` is only
+    useful if some node that still needs ``c`` is reachable from ``n``
+    within the remaining steps (or ``n`` itself needs it, distance 0).
+    """
+    distances = shortest_path_lengths(instance.topology)
+    needers: Dict[int, List[int]] = {c: [] for c in range(instance.num_chunks)}
+    for (chunk, node) in instance.postcondition:
+        needers[chunk].append(node)
+    result: Dict[Tuple[int, int], Optional[int]] = {}
+    for chunk in range(instance.num_chunks):
+        for node in instance.topology.nodes():
+            best: Optional[int] = None
+            for dst in needers[chunk]:
+                d = distances.get(node, {}).get(dst)
+                if d is not None and (best is None or d < best):
+                    best = d
+            result[(chunk, node)] = best
+    return result
+
+
+@dataclass
+class EncodingStats:
+    """Size and timing statistics reported by the benchmarks."""
+
+    variables: int = 0
+    clauses: int = 0
+    send_vars: int = 0
+    time_vars: int = 0
+    aux_vars: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "variables": self.variables,
+            "clauses": self.clauses,
+            "send_vars": self.send_vars,
+            "time_vars": self.time_vars,
+            "aux_vars": self.aux_vars,
+        }
+
+
+class ScclEncoding:
+    """The paper's time/send split encoding of a SynColl instance."""
+
+    def __init__(self, instance: SynCollInstance, prune: bool = True) -> None:
+        self.instance = instance
+        self.prune = prune
+        self.ctx = SmtLite(name=f"sccl_{instance.collective}")
+        # Variable maps populated by encode().
+        self.time_vars: Dict[Tuple[int, int], IntVar] = {}
+        self.send_vars: Dict[Tuple[int, int, int], int] = {}   # (chunk, src, dst) -> lit
+        self.round_vars: List[IntVar] = []
+        self.stats = EncodingStats()
+        self._encoded = False
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self) -> SmtLite:
+        if self._encoded:
+            return self.ctx
+        instance = self.instance
+        ctx = self.ctx
+        S = instance.steps
+        R = instance.rounds
+        G = instance.num_chunks
+        topology = instance.topology
+        links = sorted(topology.links())
+        chunk_dist = _chunk_distances(instance)
+        need_dist = _destination_distances(instance)
+
+        # --- time[c, n] variables -------------------------------------------------
+        # Domain 0..S+1; S+1 encodes "not present within the algorithm".
+        for chunk in range(G):
+            for node in topology.nodes():
+                iv = ctx.new_int(0, S + 1, name=f"time_c{chunk}_n{node}")
+                self.time_vars[(chunk, node)] = iv
+                lower = chunk_dist[(chunk, node)]
+                if self.prune:
+                    if lower is None:
+                        # The chunk can never reach this node.
+                        iv.fix(S + 1)
+                    elif lower > 0:
+                        # A chunk cannot arrive earlier than its graph distance.
+                        iv.require_ge(min(lower, S + 1))
+
+        # --- snd[c, src, dst] variables --------------------------------------------
+        for chunk in range(G):
+            for (src, dst) in links:
+                if self.prune and not self._send_useful(chunk, src, dst, chunk_dist, need_dist):
+                    continue
+                lit = ctx.new_bool(name=f"snd_c{chunk}_{src}_{dst}")
+                self.send_vars[(chunk, src, dst)] = lit
+
+        # --- r[s] round variables ---------------------------------------------------
+        # Rounds are per-step; each step performs at least one round (steps
+        # that send nothing are never useful because Algorithm 1 enumerates
+        # S from its lower bound upward).
+        min_rounds = 1 if R >= S else 0
+        for s in range(S):
+            self.round_vars.append(
+                ctx.new_int(min_rounds, R - (S - 1) * min_rounds, name=f"rounds_{s}")
+            )
+
+        # --- C1/C2: pre- and post-conditions ----------------------------------------
+        for (chunk, node) in instance.precondition:
+            self.time_vars[(chunk, node)].fix(0)
+        for (chunk, node) in instance.postcondition:
+            self.time_vars[(chunk, node)].require_le(S)
+
+        # --- C3: unique reception ----------------------------------------------------
+        in_links: Dict[int, List[int]] = {n: topology.in_neighbors(n) for n in topology.nodes()}
+        for chunk in range(G):
+            for node in topology.nodes():
+                if (chunk, node) in instance.precondition:
+                    continue
+                present = self.time_vars[(chunk, node)].le_lit(S)
+                incoming = [
+                    self.send_vars[(chunk, src, node)]
+                    for src in in_links[node]
+                    if (chunk, src, node) in self.send_vars
+                ]
+                if not incoming:
+                    # The chunk can never arrive; forbid the post-condition from
+                    # requiring it (if it does, the instance is UNSAT).
+                    ctx.add_unit(-present)
+                    continue
+                # present -> exactly one incoming send
+                ctx.add_clause([-present] + incoming)
+                ctx.at_most_one(incoming)
+                # any incoming send -> present within S steps
+                for lit in incoming:
+                    ctx.add_clause([-lit, present])
+
+        # --- C4: causality ------------------------------------------------------------
+        for (chunk, src, dst), snd in self.send_vars.items():
+            time_src = self.time_vars[(chunk, src)]
+            time_dst = self.time_vars[(chunk, dst)]
+            # Sending requires the chunk to reach the destination within S steps.
+            ctx.add_clause([-snd, time_dst.le_lit(S)])
+            for s in range(0, S + 1):
+                # snd ∧ time_dst <= s  ->  time_src <= s - 1
+                ctx.add_clause([-snd, -time_dst.le_lit(s), time_src.le_lit(s - 1)])
+
+        # --- C5: per-step bandwidth ----------------------------------------------------
+        # Auxiliary activation literals a[c, (src,dst), s]:
+        #   (snd ∧ time_dst == s) -> a
+        # Only this direction is needed because the activations appear in
+        # upper-bound (<=) constraints.
+        activation: Dict[Tuple[int, int, int, int], int] = {}
+
+        def activation_lit(chunk: int, src: int, dst: int, s: int) -> Optional[int]:
+            key = (chunk, src, dst, s)
+            if key in activation:
+                return activation[key]
+            snd = self.send_vars.get((chunk, src, dst))
+            if snd is None:
+                return None
+            time_dst = self.time_vars[(chunk, dst)]
+            # If arrival at step s is impossible, no activation needed.
+            lower = chunk_dist[(chunk, dst)]
+            if self.prune and lower is not None and s < lower:
+                return None
+            arrives_at_s = time_dst.eq_lits(s)
+            if any(lit == ctx.false_lit for lit in arrives_at_s):
+                return None
+            a = ctx.new_bool(name=f"act_c{chunk}_{src}_{dst}_s{s}")
+            ctx.add_clause([-snd] + [-lit for lit in arrives_at_s] + [a])
+            activation[key] = a
+            self.stats.aux_vars += 1
+            return a
+
+        for constraint in topology.constraints:
+            b = constraint.bandwidth
+            for s in range(1, S + 1):
+                terms: List[int] = []
+                for chunk in range(G):
+                    for (src, dst) in constraint.links:
+                        a = activation_lit(chunk, src, dst, s)
+                        if a is not None:
+                            terms.append(a)
+                if not terms:
+                    continue
+                r_s = self.round_vars[s - 1]
+                if r_s.lo == r_s.hi:
+                    # Fixed round count: a plain cardinality constraint.
+                    ctx.at_most_k(terms, b * r_s.lo)
+                    continue
+                # count <= b * r_s with a variable r_s: build unary counts and
+                # link each threshold to the order encoding of r_s:
+                #   count >= b*j + 1  ->  r_s >= j + 1
+                bound = min(len(terms), b * r_s.hi + 1)
+                outputs = ctx.totalizer(terms, bound=bound)
+                for j in range(0, r_s.hi + 1):
+                    threshold = b * j + 1
+                    if threshold <= len(outputs):
+                        ctx.add_clause([-outputs[threshold - 1], r_s.ge_lit(j + 1)])
+
+        # --- C6: total rounds -----------------------------------------------------------
+        from ..solver.intvar import unary_sum_equals
+
+        unary_sum_equals(ctx.cnf, self.round_vars, R)
+
+        cnf_stats = ctx.stats()
+        self.stats.variables = cnf_stats["variables"]
+        self.stats.clauses = cnf_stats["clauses"]
+        self.stats.send_vars = len(self.send_vars)
+        self.stats.time_vars = len(self.time_vars)
+        self._encoded = True
+        return ctx
+
+    def _send_useful(
+        self,
+        chunk: int,
+        src: int,
+        dst: int,
+        chunk_dist: Dict[Tuple[int, int], Optional[int]],
+        need_dist: Dict[Tuple[int, int], Optional[int]],
+    ) -> bool:
+        """Prune send variables that can never appear in a valid schedule."""
+        S = self.instance.steps
+        reach_src = chunk_dist[(chunk, src)]
+        if reach_src is None or reach_src + 1 > S:
+            return False
+        # After arriving at dst (taking at least reach_src + 1 steps), the
+        # chunk must still be able to serve some node that needs it.
+        useful_at = need_dist[(chunk, dst)]
+        if useful_at is None:
+            return False
+        earliest_arrival = max(chunk_dist[(chunk, dst)] or 0, reach_src + 1)
+        return earliest_arrival + useful_at <= S + 0 if useful_at > 0 else earliest_arrival <= S
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(self, model: Dict[int, bool], name: Optional[str] = None) -> Algorithm:
+        """Turn a satisfying assignment into an :class:`Algorithm` (Q, T)."""
+        if not self._encoded:
+            raise EncodingError("encode() must be called before decode()")
+        instance = self.instance
+        S = instance.steps
+        rounds = [SmtLite.int_value(model, rv) for rv in self.round_vars]
+        sends_by_step: List[List[Send]] = [[] for _ in range(S)]
+        for (chunk, src, dst), lit in self.send_vars.items():
+            if not SmtLite.bool_value(model, lit):
+                continue
+            arrival = SmtLite.int_value(model, self.time_vars[(chunk, dst)])
+            if arrival > S:
+                # A send that never takes effect; drop it (it cannot appear in
+                # a minimal model but nothing in the constraints forbids it).
+                continue
+            step_index = arrival - 1
+            if step_index < 0:
+                raise EncodingError(
+                    f"model places arrival of chunk {chunk} at node {dst} at step 0 "
+                    f"despite not being in the precondition"
+                )
+            sends_by_step[step_index].append(Send(chunk=chunk, src=src, dst=dst))
+        steps = [
+            Step(rounds=rounds[s], sends=tuple(sorted(
+                sends_by_step[s], key=lambda x: (x.src, x.dst, x.chunk)
+            )))
+            for s in range(S)
+        ]
+        algorithm = Algorithm(
+            name=name
+            or f"{instance.collective.lower()}_{instance.topology.name}_c{instance.chunks_per_node}"
+            f"_s{S}_r{instance.rounds}",
+            collective=instance.collective,
+            topology=instance.topology,
+            chunks_per_node=instance.chunks_per_node,
+            num_chunks=instance.num_chunks,
+            precondition=instance.precondition,
+            postcondition=instance.postcondition,
+            steps=steps,
+            combining=False,
+            metadata={"encoding": "sccl", "instance": instance.describe()},
+        )
+        # Models may contain sends that never contribute to the postcondition
+        # (nothing in C1-C6 forbids them); strip them for clean schedules.
+        return algorithm.pruned()
+
+
+class NaiveEncoding:
+    """The direct encoding with one Boolean per tuple ``(c, n, n', s)``.
+
+    Kept for the Section 5.4.3 ablation: it produces many more variables
+    and scales poorly compared to :class:`ScclEncoding`.
+    """
+
+    def __init__(self, instance: SynCollInstance) -> None:
+        self.instance = instance
+        self.ctx = SmtLite(name=f"naive_{instance.collective}")
+        self.send_step_vars: Dict[Tuple[int, int, int, int], int] = {}
+        self.present_vars: Dict[Tuple[int, int, int], int] = {}
+        self.round_vars: List[IntVar] = []
+        self.stats = EncodingStats()
+        self._encoded = False
+
+    def encode(self) -> SmtLite:
+        if self._encoded:
+            return self.ctx
+        instance = self.instance
+        ctx = self.ctx
+        S = instance.steps
+        R = instance.rounds
+        G = instance.num_chunks
+        topology = instance.topology
+        links = sorted(topology.links())
+
+        # present[c, n, t]: chunk c is available on node n before step t executes.
+        for chunk in range(G):
+            for node in topology.nodes():
+                for t in range(S + 1):
+                    self.present_vars[(chunk, node, t)] = ctx.new_bool(
+                        name=f"has_c{chunk}_n{node}_t{t}"
+                    )
+        # x[c, src, dst, s]: chunk c is sent over (src, dst) at step s.
+        for chunk in range(G):
+            for (src, dst) in links:
+                for s in range(S):
+                    self.send_step_vars[(chunk, src, dst, s)] = ctx.new_bool(
+                        name=f"x_c{chunk}_{src}_{dst}_s{s}"
+                    )
+        min_rounds = 1 if R >= S else 0
+        for s in range(S):
+            self.round_vars.append(
+                ctx.new_int(min_rounds, R - (S - 1) * min_rounds, name=f"rounds_{s}")
+            )
+
+        # Initial state = precondition.
+        for chunk in range(G):
+            for node in topology.nodes():
+                lit = self.present_vars[(chunk, node, 0)]
+                if (chunk, node) in instance.precondition:
+                    ctx.add_unit(lit)
+                else:
+                    ctx.add_unit(-lit)
+
+        # Transition: present at t+1 iff present at t or received at step t.
+        for chunk in range(G):
+            for node in topology.nodes():
+                incoming_links = [
+                    (src, node) for src in topology.in_neighbors(node)
+                ]
+                for t in range(S):
+                    now = self.present_vars[(chunk, node, t)]
+                    nxt = self.present_vars[(chunk, node, t + 1)]
+                    received = [
+                        self.send_step_vars[(chunk, src, dst, t)]
+                        for (src, dst) in incoming_links
+                    ]
+                    # now -> nxt
+                    ctx.add_clause([-now, nxt])
+                    # received -> nxt
+                    for lit in received:
+                        ctx.add_clause([-lit, nxt])
+                    # nxt -> now or received
+                    ctx.add_clause([-nxt, now] + received)
+
+        # A send requires the chunk at the source beforehand.
+        for (chunk, src, dst, s), lit in self.send_step_vars.items():
+            ctx.add_clause([-lit, self.present_vars[(chunk, src, s)]])
+
+        # Bandwidth per step and constraint.
+        for constraint in topology.constraints:
+            b = constraint.bandwidth
+            for s in range(S):
+                terms = [
+                    self.send_step_vars[(chunk, src, dst, s)]
+                    for chunk in range(G)
+                    for (src, dst) in constraint.links
+                ]
+                if not terms:
+                    continue
+                r_s = self.round_vars[s]
+                if r_s.lo == r_s.hi:
+                    ctx.at_most_k(terms, b * r_s.lo)
+                    continue
+                bound = min(len(terms), b * r_s.hi + 1)
+                outputs = ctx.totalizer(terms, bound=bound)
+                for j in range(0, r_s.hi + 1):
+                    threshold = b * j + 1
+                    if threshold <= len(outputs):
+                        ctx.add_clause([-outputs[threshold - 1], r_s.ge_lit(j + 1)])
+
+        # Postcondition.
+        for (chunk, node) in instance.postcondition:
+            ctx.add_unit(self.present_vars[(chunk, node, S)])
+
+        # Total rounds.
+        from ..solver.intvar import unary_sum_equals
+
+        unary_sum_equals(ctx.cnf, self.round_vars, R)
+
+        cnf_stats = ctx.stats()
+        self.stats.variables = cnf_stats["variables"]
+        self.stats.clauses = cnf_stats["clauses"]
+        self.stats.send_vars = len(self.send_step_vars)
+        self.stats.time_vars = len(self.present_vars)
+        self._encoded = True
+        return ctx
+
+    def decode(self, model: Dict[int, bool], name: Optional[str] = None) -> Algorithm:
+        if not self._encoded:
+            raise EncodingError("encode() must be called before decode()")
+        instance = self.instance
+        S = instance.steps
+        rounds = [SmtLite.int_value(model, rv) for rv in self.round_vars]
+        sends_by_step: List[List[Send]] = [[] for _ in range(S)]
+        # Only keep sends that deliver the chunk for the first time, mirroring
+        # the unique-reception property of the SCCL encoding.
+        delivered: Set[Tuple[int, int]] = {
+            (chunk, node) for (chunk, node) in instance.precondition
+        }
+        for s in range(S):
+            arrivals: Dict[Tuple[int, int], Tuple[int, int]] = {}
+            for (chunk, src, dst, step), lit in self.send_step_vars.items():
+                if step != s or not SmtLite.bool_value(model, lit):
+                    continue
+                if (chunk, dst) in delivered or (chunk, dst) in arrivals:
+                    continue
+                arrivals[(chunk, dst)] = (src, dst)
+            for (chunk, dst), (src, _) in arrivals.items():
+                sends_by_step[s].append(Send(chunk=chunk, src=src, dst=dst))
+                delivered.add((chunk, dst))
+        steps = [
+            Step(rounds=rounds[s], sends=tuple(sorted(
+                sends_by_step[s], key=lambda x: (x.src, x.dst, x.chunk)
+            )))
+            for s in range(S)
+        ]
+        return Algorithm(
+            name=name
+            or f"{instance.collective.lower()}_{instance.topology.name}_naive"
+            f"_c{instance.chunks_per_node}_s{S}_r{instance.rounds}",
+            collective=instance.collective,
+            topology=instance.topology,
+            chunks_per_node=instance.chunks_per_node,
+            num_chunks=instance.num_chunks,
+            precondition=instance.precondition,
+            postcondition=instance.postcondition,
+            steps=steps,
+            combining=False,
+            metadata={"encoding": "naive", "instance": instance.describe()},
+        )

@@ -1,0 +1,342 @@
+"""Pareto-optimal synthesis — Algorithm 1 of the paper.
+
+``Pareto-Synthesize(k, Coll, P, B)`` enumerates step counts ``S`` starting
+from the latency lower bound ``a_l``.  For each ``S`` it builds the
+candidate set ``A = {(R, C) | S <= R <= S + k  and  R / C >= b_l}``, checks
+candidates in ascending order of bandwidth cost ``R / C`` and reports the
+first satisfiable one; that algorithm is Pareto-optimal for the current
+``S``.  The enumeration stops as soon as an algorithm matching the
+bandwidth lower bound ``b_l`` has been reported (or a step budget runs
+out — the paper notes the procedure need not terminate for every
+collective, Broadcast on the DGX-1 being the canonical example).
+
+Combining collectives are handled by delegation (Section 3.5):
+Reducescatter and Allreduce reuse the Allgather enumeration, Reduce reuses
+Broadcast.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..collectives import get_collective
+from ..solver import SolveResult
+from ..topology import Topology
+from .algorithm import Algorithm
+from .bounds import lower_bounds
+from .combining import allreduce_from_allgather, invert_algorithm
+from .cost import CostPoint, cost_point, is_pareto_optimal
+from .instance import make_instance
+from .synthesizer import SynthesisResult, synthesize
+
+
+class ParetoError(Exception):
+    """Raised for invalid Pareto-synthesis parameters."""
+
+
+@dataclass
+class ParetoPoint:
+    """One row of the paper's Table 4 / Table 5."""
+
+    collective: str
+    chunks_per_node: int
+    steps: int
+    rounds: int
+    status: SolveResult
+    synthesis_time: float
+    algorithm: Optional[Algorithm] = None
+    latency_optimal: bool = False
+    bandwidth_optimal: bool = False
+    pareto_optimal: bool = False
+    proved: bool = True  # False when resource limits made lower candidates UNKNOWN
+    unsat_probes: int = 0
+
+    @property
+    def bandwidth_cost(self) -> Fraction:
+        return Fraction(self.rounds, self.chunks_per_node)
+
+    @property
+    def signature(self) -> Tuple[int, int, int]:
+        return (self.chunks_per_node, self.steps, self.rounds)
+
+    def optimality_label(self) -> str:
+        labels = []
+        if self.latency_optimal:
+            labels.append("Latency")
+        if self.bandwidth_optimal:
+            labels.append("Bandwidth")
+        if len(labels) == 2:
+            return "Both"
+        return labels[0] if labels else ""
+
+
+@dataclass
+class ParetoFrontier:
+    """Result of a Pareto-Synthesize run."""
+
+    collective: str
+    topology_name: str
+    k: int
+    latency_lower_bound: int
+    bandwidth_lower_bound: Fraction
+    points: List[ParetoPoint] = field(default_factory=list)
+    exhausted_steps: bool = False
+    total_time: float = 0.0
+
+    def algorithms(self) -> List[Algorithm]:
+        return [p.algorithm for p in self.points if p.algorithm is not None]
+
+    def best_for_size(self, size_bytes: float, alpha: float, beta: float) -> ParetoPoint:
+        if not self.points:
+            raise ParetoError("empty frontier")
+        return min(
+            (p for p in self.points if p.algorithm is not None),
+            key=lambda p: p.algorithm.cost(size_bytes, alpha, beta),
+        )
+
+    def table_rows(self) -> List[dict]:
+        """Rows shaped like the paper's Tables 4/5."""
+        return [
+            {
+                "collective": point.collective,
+                "C": point.chunks_per_node,
+                "S": point.steps,
+                "R": point.rounds,
+                "optimality": point.optimality_label(),
+                "time_s": round(point.synthesis_time, 2),
+            }
+            for point in self.points
+        ]
+
+
+def candidate_set(
+    steps: int, k: int, bandwidth_lower: Fraction, max_chunks: Optional[int] = None
+) -> List[Tuple[int, int]]:
+    """The candidate set ``A`` for a given S: (R, C) pairs ordered by R/C.
+
+    ``R`` ranges over ``S .. S + k`` and ``C`` over ``1 .. floor(R / b_l)``
+    (the bandwidth lower bound caps useful chunk counts; without ``k`` the
+    set would be unbounded).  Ties in ``R / C`` are broken toward fewer
+    rounds, which produces smaller encodings first.
+    """
+    if bandwidth_lower <= 0:
+        raise ParetoError("bandwidth lower bound must be positive")
+    candidates: List[Tuple[int, int]] = []
+    for rounds in range(steps, steps + k + 1):
+        chunk_cap = int(Fraction(rounds, 1) / bandwidth_lower)
+        if max_chunks is not None:
+            chunk_cap = min(chunk_cap, max_chunks)
+        for chunks in range(1, chunk_cap + 1):
+            if Fraction(rounds, chunks) >= bandwidth_lower:
+                candidates.append((rounds, chunks))
+    candidates.sort(key=lambda rc: (Fraction(rc[0], rc[1]), rc[0], rc[1]))
+    return candidates
+
+
+def pareto_synthesize(
+    collective: str,
+    topology: Topology,
+    k: int = 0,
+    *,
+    root: int = 0,
+    max_steps: Optional[int] = None,
+    max_chunks: Optional[int] = None,
+    time_limit_per_instance: Optional[float] = None,
+    conflict_limit: Optional[int] = None,
+    stop_at_bandwidth_optimal: bool = True,
+    on_result: Optional[Callable[[SynthesisResult], None]] = None,
+) -> ParetoFrontier:
+    """Run Algorithm 1 for a collective on a topology.
+
+    Parameters
+    ----------
+    collective:
+        Any collective from Table 2, including combining ones (handled via
+        the Section 3.5 reduction).
+    k:
+        The synchrony budget: rounds may exceed steps by at most ``k``.
+    max_steps:
+        Upper bound on the enumerated step count (defaults to the latency
+        lower bound plus 8); needed because the procedure does not always
+        terminate on its own.
+    time_limit_per_instance / conflict_limit:
+        Resource limits per SMT query; exceeded limits yield UNKNOWN
+        candidates, which are skipped but recorded (``proved=False``).
+    """
+    if k < 0:
+        raise ParetoError("k must be non-negative")
+    spec = get_collective(collective)
+
+    # --- combining collectives: delegate to the non-combining counterpart ----
+    if spec.combining:
+        return _pareto_synthesize_combining(
+            spec.name,
+            topology,
+            k,
+            root=root,
+            max_steps=max_steps,
+            max_chunks=max_chunks,
+            time_limit_per_instance=time_limit_per_instance,
+            conflict_limit=conflict_limit,
+            stop_at_bandwidth_optimal=stop_at_bandwidth_optimal,
+            on_result=on_result,
+        )
+
+    start_time = time.monotonic()
+    a_l, b_l = lower_bounds(spec.name, topology, root=root)
+    if max_steps is None:
+        max_steps = a_l + 8
+    frontier = ParetoFrontier(
+        collective=spec.name,
+        topology_name=topology.name,
+        k=k,
+        latency_lower_bound=a_l,
+        bandwidth_lower_bound=b_l,
+    )
+
+    reached_bandwidth_optimal = False
+    for steps in range(a_l, max_steps + 1):
+        if reached_bandwidth_optimal and stop_at_bandwidth_optimal:
+            break
+        proved = True
+        unsat_probes = 0
+        for rounds, chunks in candidate_set(steps, k, b_l, max_chunks):
+            instance = make_instance(spec.name, topology, chunks, steps, rounds, root=root)
+            result = synthesize(
+                instance,
+                time_limit=time_limit_per_instance,
+                conflict_limit=conflict_limit,
+            )
+            if on_result is not None:
+                on_result(result)
+            if result.is_unknown:
+                proved = False
+                continue
+            if result.is_unsat:
+                unsat_probes += 1
+                continue
+            point = ParetoPoint(
+                collective=spec.name,
+                chunks_per_node=chunks,
+                steps=steps,
+                rounds=rounds,
+                status=result.status,
+                synthesis_time=result.total_time,
+                algorithm=result.algorithm,
+                latency_optimal=(steps == a_l),
+                bandwidth_optimal=(Fraction(rounds, chunks) == b_l),
+                proved=proved,
+                unsat_probes=unsat_probes,
+            )
+            frontier.points.append(point)
+            if point.bandwidth_optimal:
+                reached_bandwidth_optimal = True
+            break
+        else:
+            # No satisfiable candidate at this step count; keep increasing S.
+            continue
+    else:
+        frontier.exhausted_steps = True
+
+    _mark_pareto_optimal(frontier)
+    frontier.total_time = time.monotonic() - start_time
+    return frontier
+
+
+def _mark_pareto_optimal(frontier: ParetoFrontier) -> None:
+    points = [p for p in frontier.points if p.status is SolveResult.SAT]
+    cost_points = [cost_point(p.steps, p.rounds, p.chunks_per_node) for p in points]
+    for point, cp in zip(points, cost_points):
+        point.pareto_optimal = is_pareto_optimal(cp, [o for o in cost_points if o != cp])
+
+
+def _pareto_synthesize_combining(
+    collective: str,
+    topology: Topology,
+    k: int,
+    *,
+    root: int,
+    max_steps: Optional[int],
+    max_chunks: Optional[int],
+    time_limit_per_instance: Optional[float],
+    conflict_limit: Optional[int],
+    stop_at_bandwidth_optimal: bool,
+    on_result: Optional[Callable[[SynthesisResult], None]],
+) -> ParetoFrontier:
+    """Reduce Reducescatter / Reduce / Allreduce synthesis to the non-combining base."""
+    base_collective = {"Reducescatter": "Allgather", "Reduce": "Broadcast", "Allreduce": "Allgather"}[
+        collective
+    ]
+    base_topology = topology if collective == "Allreduce" else topology.reversed()
+    base = pareto_synthesize(
+        base_collective,
+        base_topology,
+        k,
+        root=root,
+        max_steps=max_steps,
+        max_chunks=max_chunks,
+        time_limit_per_instance=time_limit_per_instance,
+        conflict_limit=conflict_limit,
+        stop_at_bandwidth_optimal=stop_at_bandwidth_optimal,
+        on_result=on_result,
+    )
+    frontier = ParetoFrontier(
+        collective=collective,
+        topology_name=topology.name,
+        k=k,
+        latency_lower_bound=(
+            2 * base.latency_lower_bound if collective == "Allreduce" else base.latency_lower_bound
+        ),
+        bandwidth_lower_bound=(
+            _allreduce_bandwidth_bound(base, topology)
+            if collective == "Allreduce"
+            else base.bandwidth_lower_bound
+        ),
+        total_time=base.total_time,
+        exhausted_steps=base.exhausted_steps,
+    )
+    for base_point in base.points:
+        algorithm = base_point.algorithm
+        if algorithm is None:
+            continue
+        if collective == "Allreduce":
+            derived = allreduce_from_allgather(algorithm)
+            chunks = algorithm.num_chunks
+            steps = 2 * base_point.steps
+            rounds = 2 * base_point.rounds
+        else:
+            derived = invert_algorithm(algorithm, collective=collective, target_topology=topology)
+            chunks = base_point.chunks_per_node
+            steps = base_point.steps
+            rounds = base_point.rounds
+        derived.verify()
+        frontier.points.append(
+            ParetoPoint(
+                collective=collective,
+                chunks_per_node=chunks,
+                steps=steps,
+                rounds=rounds,
+                status=base_point.status,
+                synthesis_time=base_point.synthesis_time,
+                algorithm=derived,
+                latency_optimal=base_point.latency_optimal,
+                bandwidth_optimal=base_point.bandwidth_optimal,
+                proved=base_point.proved,
+                unsat_probes=base_point.unsat_probes,
+            )
+        )
+    _mark_pareto_optimal(frontier)
+    return frontier
+
+
+def _allreduce_bandwidth_bound(base: "ParetoFrontier", topology: Topology) -> Fraction:
+    """Allreduce bandwidth bound: twice the Allgather bound, re-normalized.
+
+    An Allreduce with per-node chunk count ``P * C_ag`` spends ``2 * R_ag``
+    rounds, so its bandwidth cost is ``2 R_ag / (P C_ag)`` — i.e. two times
+    the Allgather bound divided by ``P``.
+    """
+    return Fraction(2, topology.num_nodes) * base.bandwidth_lower_bound

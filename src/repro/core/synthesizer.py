@@ -1,0 +1,145 @@
+"""Single-instance synthesis: encode, solve, decode, verify.
+
+:func:`synthesize` is the workhorse that Algorithm 1 (in
+:mod:`repro.core.pareto`) calls once per candidate ``(S, R, C)`` tuple.  It
+returns a :class:`SynthesisResult` carrying the outcome, the decoded and
+*verified* algorithm (for SAT answers), and the timing / size statistics
+that the paper's Tables 4 and 5 report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..solver import SolveResult
+from .algorithm import Algorithm
+from .encoding import NaiveEncoding, ScclEncoding
+from .instance import SynCollInstance
+
+
+class SynthesisError(Exception):
+    """Raised when a model decodes to an invalid algorithm (encoder bug guard)."""
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of synthesizing a single SynColl instance."""
+
+    instance: SynCollInstance
+    status: SolveResult
+    algorithm: Optional[Algorithm] = None
+    encode_time: float = 0.0
+    solve_time: float = 0.0
+    encoding_stats: Dict[str, int] = field(default_factory=dict)
+    solver_stats: Dict[str, float] = field(default_factory=dict)
+    encoding: str = "sccl"
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is SolveResult.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status is SolveResult.UNSAT
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status is SolveResult.UNKNOWN
+
+    @property
+    def total_time(self) -> float:
+        """Encoding plus solving time — the quantity in the paper's "Time" columns."""
+        return self.encode_time + self.solve_time
+
+    def summary(self) -> str:
+        sig = (
+            f"C={self.instance.chunks_per_node} S={self.instance.steps} "
+            f"R={self.instance.rounds}"
+        )
+        return (
+            f"{self.instance.collective} [{sig}] -> {self.status.value} "
+            f"in {self.total_time:.2f}s "
+            f"(encode {self.encode_time:.2f}s, solve {self.solve_time:.2f}s)"
+        )
+
+
+def synthesize(
+    instance: SynCollInstance,
+    *,
+    encoding: str = "sccl",
+    prune: bool = True,
+    time_limit: Optional[float] = None,
+    conflict_limit: Optional[int] = None,
+    verify: bool = True,
+    name: Optional[str] = None,
+) -> SynthesisResult:
+    """Synthesize an algorithm for one SynColl instance.
+
+    Parameters
+    ----------
+    instance:
+        The ``(G, S, R, P, B, pre, post)`` tuple to solve.
+    encoding:
+        ``"sccl"`` (the paper's time/send split encoding) or ``"naive"``
+        (one Boolean per ``(c, n, n', s)``; used for the ablation).
+    prune:
+        Enable distance-based variable pruning (sccl encoding only).
+    time_limit / conflict_limit:
+        Resource limits passed to the SAT solver; on exhaustion the result
+        status is ``UNKNOWN``.
+    verify:
+        Re-check the decoded algorithm against the run semantics; any
+        violation raises :class:`SynthesisError` (it would indicate a bug in
+        the encoder, not user error).
+    """
+    start = time.monotonic()
+    if encoding == "sccl":
+        encoder = ScclEncoding(instance, prune=prune)
+    elif encoding == "naive":
+        encoder = NaiveEncoding(instance)
+    else:
+        raise ValueError(f"unknown encoding {encoding!r}")
+    ctx = encoder.encode()
+    encode_time = time.monotonic() - start
+
+    outcome = ctx.check(time_limit=time_limit, conflict_limit=conflict_limit)
+    result = SynthesisResult(
+        instance=instance,
+        status=outcome.result,
+        encode_time=encode_time,
+        solve_time=outcome.solve_time,
+        encoding_stats=encoder.stats.as_dict(),
+        solver_stats=outcome.stats,
+        encoding=encoding,
+    )
+    if outcome.is_sat:
+        algorithm = encoder.decode(outcome.model, name=name)
+        if verify:
+            try:
+                algorithm.verify()
+            except Exception as exc:  # pragma: no cover - encoder bug guard
+                raise SynthesisError(
+                    f"decoded algorithm fails verification: {exc}"
+                ) from exc
+        result.algorithm = algorithm
+    return result
+
+
+def synthesize_collective(
+    collective: str,
+    topology,
+    chunks_per_node: int,
+    steps: int,
+    rounds: int,
+    root: int = 0,
+    **kwargs,
+) -> SynthesisResult:
+    """Convenience wrapper building the instance from a collective name."""
+    from .instance import make_instance
+
+    instance = make_instance(
+        collective, topology, chunks_per_node, steps, rounds, root=root
+    )
+    return synthesize(instance, **kwargs)

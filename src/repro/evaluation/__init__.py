@@ -1,0 +1,47 @@
+"""Evaluation harness: regenerates every table and figure of the paper."""
+
+from .figures import (
+    DEFAULT_SIZES,
+    FIGURE4_POINTS,
+    FIGURE5_POINTS,
+    FIGURE6_POINTS,
+    FigureResult,
+    figure4_allgather_dgx1,
+    figure5_allreduce_dgx1,
+    figure6_allgather_amd,
+    full_scale,
+)
+from .reporting import format_series, format_table, geometric_mean
+from .tables import (
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    SynthesisTableConfig,
+    render_table,
+    synthesis_table,
+    table3_rows,
+    table4_rows,
+    table5_rows,
+)
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "FIGURE4_POINTS",
+    "FIGURE5_POINTS",
+    "FIGURE6_POINTS",
+    "FigureResult",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "SynthesisTableConfig",
+    "figure4_allgather_dgx1",
+    "figure5_allreduce_dgx1",
+    "figure6_allgather_amd",
+    "format_series",
+    "format_table",
+    "full_scale",
+    "geometric_mean",
+    "render_table",
+    "synthesis_table",
+    "table3_rows",
+    "table4_rows",
+    "table5_rows",
+]

@@ -1,0 +1,41 @@
+"""Runtime substrate: lowering, execution, simulation and code generation."""
+
+from .codegen import CodegenError, generate_cuda_like_source, write_source
+from .executor import ExecutionError, ExecutionResult, Executor, execute
+from .lowering import PROTOCOLS, LoweringError, lower, lower_all_protocols
+from .program import Instruction, OpCode, Program, ProgramError, RankProgram
+from .simulator import (
+    DEFAULT_PROTOCOLS,
+    ProtocolModel,
+    SimulationError,
+    SimulationResult,
+    Simulator,
+    StepTiming,
+    simulate,
+)
+
+__all__ = [
+    "CodegenError",
+    "DEFAULT_PROTOCOLS",
+    "ExecutionError",
+    "ExecutionResult",
+    "Executor",
+    "Instruction",
+    "LoweringError",
+    "OpCode",
+    "PROTOCOLS",
+    "Program",
+    "ProgramError",
+    "ProtocolModel",
+    "RankProgram",
+    "SimulationError",
+    "SimulationResult",
+    "Simulator",
+    "StepTiming",
+    "execute",
+    "generate_cuda_like_source",
+    "lower",
+    "lower_all_protocols",
+    "simulate",
+    "write_source",
+]

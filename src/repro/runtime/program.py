@@ -1,0 +1,158 @@
+"""Per-rank program IR — the lowering target for synthesized algorithms.
+
+Section 4 of the paper describes SCCL's code generation: each GPU gets its
+own code under a top-level switch, communication happens by writing into
+remote buffers through IPC pointers, and steps are separated either by
+kernel launches (multi-kernel mode) or by flag-based signal/wait inside a
+single fused kernel.
+
+Because this reproduction has no GPUs, the lowering target is an explicit
+per-rank instruction list that the functional executor
+(:mod:`repro.runtime.executor`) and the discrete-event simulator
+(:mod:`repro.runtime.simulator`) both consume, and that the CUDA-like code
+emitter (:mod:`repro.runtime.codegen`) pretty-prints.  The instruction set
+mirrors what the generated CUDA does:
+
+* ``SEND`` — write a chunk into a peer's buffer (push model) and raise the
+  peer's flag for that chunk,
+* ``RECV`` / ``RECV_REDUCE`` — wait on the local flag for a chunk written
+  by a peer (and optionally fold it into the local accumulator),
+* ``BARRIER`` — step boundary (kernel re-launch in multi-kernel mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class ProgramError(Exception):
+    """Raised for malformed programs."""
+
+
+class OpCode(Enum):
+    SEND = "send"
+    RECV = "recv"
+    RECV_REDUCE = "recv_reduce"
+    BARRIER = "barrier"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One instruction of a rank program.
+
+    ``chunk`` and ``peer`` are meaningful for SEND/RECV/RECV_REDUCE;
+    ``step`` records which synchronous step of the source algorithm the
+    instruction implements (used for simulation and reporting).
+    """
+
+    op: OpCode
+    chunk: int = -1
+    peer: int = -1
+    step: int = -1
+
+    def __str__(self) -> str:
+        if self.op is OpCode.BARRIER:
+            return f"barrier(step={self.step})"
+        return f"{self.op.value}(chunk={self.chunk}, peer={self.peer}, step={self.step})"
+
+
+@dataclass
+class RankProgram:
+    """The instruction sequence executed by one rank."""
+
+    rank: int
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def append(self, instruction: Instruction) -> None:
+        self.instructions.append(instruction)
+
+    def sends(self) -> List[Instruction]:
+        return [i for i in self.instructions if i.op is OpCode.SEND]
+
+    def receives(self) -> List[Instruction]:
+        return [i for i in self.instructions if i.op in (OpCode.RECV, OpCode.RECV_REDUCE)]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+@dataclass
+class Program:
+    """A whole-machine program: one :class:`RankProgram` per rank.
+
+    ``num_chunks`` is the number of chunk slots in every rank's buffer;
+    ``chunks_per_node`` is carried through from the algorithm for sizing
+    (a chunk holds ``size_bytes / chunks_per_node`` bytes for non-combining
+    collectives operating on a per-node buffer of ``size_bytes``).
+    """
+
+    name: str
+    collective: str
+    num_ranks: int
+    num_chunks: int
+    chunks_per_node: int
+    ranks: List[RankProgram] = field(default_factory=list)
+    protocol: str = "single_kernel_push"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.ranks:
+            self.ranks = [RankProgram(rank=r) for r in range(self.num_ranks)]
+        if len(self.ranks) != self.num_ranks:
+            raise ProgramError(
+                f"expected {self.num_ranks} rank programs, got {len(self.ranks)}"
+            )
+
+    def rank(self, index: int) -> RankProgram:
+        if not 0 <= index < self.num_ranks:
+            raise ProgramError(f"rank {index} out of range")
+        return self.ranks[index]
+
+    @property
+    def num_steps(self) -> int:
+        return 1 + max(
+            (i.step for rank in self.ranks for i in rank.instructions), default=-1
+        )
+
+    def total_instructions(self) -> int:
+        return sum(len(rank) for rank in self.ranks)
+
+    def sends_at_step(self, step: int) -> List[Tuple[int, Instruction]]:
+        """All SENDs scheduled for a given synchronous step, as (rank, instr)."""
+        result = []
+        for rank in self.ranks:
+            for instruction in rank.instructions:
+                if instruction.op is OpCode.SEND and instruction.step == step:
+                    result.append((rank.rank, instruction))
+        return result
+
+    def validate(self) -> None:
+        """Structural checks: matched send/recv pairs per (chunk, step, link)."""
+        sends: Dict[Tuple[int, int, int, int], int] = {}
+        recvs: Dict[Tuple[int, int, int, int], int] = {}
+        for rank in self.ranks:
+            for instr in rank.instructions:
+                if instr.op is OpCode.SEND:
+                    key = (instr.chunk, rank.rank, instr.peer, instr.step)
+                    sends[key] = sends.get(key, 0) + 1
+                elif instr.op in (OpCode.RECV, OpCode.RECV_REDUCE):
+                    key = (instr.chunk, instr.peer, rank.rank, instr.step)
+                    recvs[key] = recvs.get(key, 0) + 1
+        if sends != recvs:
+            missing = set(sends) ^ set(recvs)
+            raise ProgramError(
+                f"unmatched send/recv pairs for (chunk, src, dst, step) in {sorted(missing)[:5]}"
+            )
+
+    def describe(self) -> str:
+        lines = [
+            f"Program {self.name!r} ({self.collective}), {self.num_ranks} ranks, "
+            f"{self.num_chunks} chunk slots, protocol {self.protocol}"
+        ]
+        for rank in self.ranks:
+            lines.append(f"  rank {rank.rank}: {len(rank)} instructions")
+            for instruction in rank.instructions:
+                lines.append(f"    {instruction}")
+        return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""CNF formula representation.
+
+This module provides the low-level clause database used by the CDCL SAT
+solver in :mod:`repro.solver.sat`.  Literals follow the DIMACS convention:
+variables are positive integers ``1..n`` and a literal is either ``v``
+(positive occurrence) or ``-v`` (negated occurrence).
+
+The solver-facing classes are intentionally small: a :class:`CNF` is just a
+growable list of clauses plus a variable counter, with helpers for creating
+fresh variables and reading/writing DIMACS files.  All higher level
+constructs (cardinality constraints, pseudo-Boolean sums, bounded integers)
+are compiled down to this representation by :mod:`repro.solver.encoders` and
+:mod:`repro.solver.intvar`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence
+
+
+class CNFError(Exception):
+    """Raised for malformed clauses or literals."""
+
+
+def lit_var(lit: int) -> int:
+    """Return the variable of a literal (``|lit|``)."""
+    return lit if lit > 0 else -lit
+
+
+def lit_sign(lit: int) -> bool:
+    """Return ``True`` for a positive literal, ``False`` for a negated one."""
+    return lit > 0
+
+
+def lit_neg(lit: int) -> int:
+    """Return the negation of a literal."""
+    return -lit
+
+
+@dataclass
+class CNF:
+    """A growable CNF formula.
+
+    Attributes
+    ----------
+    num_vars:
+        Highest variable index allocated so far.
+    clauses:
+        List of clauses; each clause is a list of non-zero integer literals.
+    """
+
+    num_vars: int = 0
+    clauses: List[List[int]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Variable management
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        """Allocate ``count`` fresh variables and return them as a list."""
+        if count < 0:
+            raise CNFError(f"cannot allocate a negative number of variables: {count}")
+        start = self.num_vars + 1
+        self.num_vars += count
+        return list(range(start, self.num_vars + 1))
+
+    def ensure_var(self, var: int) -> None:
+        """Make sure ``var`` is within the allocated variable range."""
+        if var <= 0:
+            raise CNFError(f"variables must be positive, got {var}")
+        if var > self.num_vars:
+            self.num_vars = var
+
+    # ------------------------------------------------------------------
+    # Clause management
+    # ------------------------------------------------------------------
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Add a clause given as an iterable of literals.
+
+        Duplicate literals are removed; tautological clauses (containing both
+        ``v`` and ``-v``) are silently dropped since they are always
+        satisfied.
+        """
+        seen = set()
+        clause: List[int] = []
+        for lit in lits:
+            if lit == 0:
+                raise CNFError("literal 0 is not allowed in a clause")
+            if -lit in seen:
+                return  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            clause.append(lit)
+            self.ensure_var(lit_var(lit))
+        self.clauses.append(clause)
+
+    def extend(self, clauses: Iterable[Iterable[int]]) -> None:
+        """Add several clauses."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[List[int]]:
+        return iter(self.clauses)
+
+    # ------------------------------------------------------------------
+    # Statistics & serialization
+    # ------------------------------------------------------------------
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def stats(self) -> dict:
+        """Return simple size statistics for reporting."""
+        literal_count = sum(len(c) for c in self.clauses)
+        return {
+            "variables": self.num_vars,
+            "clauses": len(self.clauses),
+            "literals": literal_count,
+        }
+
+    def to_dimacs(self) -> str:
+        """Serialize the formula in DIMACS CNF format."""
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CNF":
+        """Parse a DIMACS CNF string into a :class:`CNF`."""
+        cnf = cls()
+        declared_vars = 0
+        current: List[int] = []
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) < 4 or parts[1] != "cnf":
+                    raise CNFError(f"malformed problem line: {line!r}")
+                declared_vars = int(parts[2])
+                continue
+            for token in line.split():
+                lit = int(token)
+                if lit == 0:
+                    cnf.add_clause(current)
+                    current = []
+                else:
+                    current.append(lit)
+        if current:
+            raise CNFError("last clause is not terminated by 0")
+        if declared_vars > cnf.num_vars:
+            cnf.num_vars = declared_vars
+        return cnf
+
+
+def clause_is_satisfied(clause: Sequence[int], assignment: dict) -> bool:
+    """Check a clause against a ``{var: bool}`` assignment.
+
+    Unassigned variables count as not satisfying the clause.  Used by tests
+    and by the model validator in :mod:`repro.solver.sat`.
+    """
+    for lit in clause:
+        value = assignment.get(lit_var(lit))
+        if value is None:
+            continue
+        if value == lit_sign(lit):
+            return True
+    return False

@@ -1,0 +1,297 @@
+"""CNF encoders for cardinality and pseudo-Boolean constraints.
+
+The SCCL synthesis constraints (Section 3.4 of the paper) need three kinds
+of non-clausal building blocks:
+
+* *exactly-one* over the possible senders of a chunk (constraint C3),
+* *at-most-k* counts of sends on a link per step (constraint C5), and
+* linear equalities over small bounded integers (constraint C6, and
+  ``R = sum(r_s)``).
+
+This module provides standard encodings of those building blocks:
+
+* pairwise and commander at-most-one,
+* the sequential (totalizer-free) at-most-k counter of Sinz (2005),
+* a totalizer encoder producing full unary count outputs, which the SCCL
+  encoding uses to express ``count <= b * r_s`` with a *variable* ``r_s``,
+* a weighted pseudo-Boolean (<=) encoder via a sequential weighted counter.
+
+All functions take a :class:`~repro.solver.cnf.CNF` (or anything exposing
+``new_var``/``add_clause``) and mutate it in place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class EncodingError(Exception):
+    """Raised when an encoder receives inconsistent arguments."""
+
+
+# ----------------------------------------------------------------------
+# At-most-one / exactly-one
+# ----------------------------------------------------------------------
+def at_most_one_pairwise(cnf, lits: Sequence[int]) -> None:
+    """Pairwise (binomial) AMO: O(n^2) binary clauses, no auxiliary variables."""
+    n = len(lits)
+    for i in range(n):
+        for j in range(i + 1, n):
+            cnf.add_clause([-lits[i], -lits[j]])
+
+
+def at_most_one_commander(cnf, lits: Sequence[int], group_size: int = 4) -> None:
+    """Commander-variable AMO encoding.
+
+    Splits the literals into groups of ``group_size``, adds a commander
+    variable per group, and recursively constrains the commanders.  Uses
+    O(n) clauses and O(n / group_size) auxiliary variables.
+    """
+    lits = list(lits)
+    if len(lits) <= group_size + 1:
+        at_most_one_pairwise(cnf, lits)
+        return
+    commanders: List[int] = []
+    for start in range(0, len(lits), group_size):
+        group = lits[start : start + group_size]
+        commander = cnf.new_var()
+        commanders.append(commander)
+        # commander is true if any literal in the group is true
+        for lit in group:
+            cnf.add_clause([-lit, commander])
+        # at most one within the group
+        at_most_one_pairwise(cnf, group)
+    at_most_one_commander(cnf, commanders, group_size)
+
+
+def at_most_one(cnf, lits: Sequence[int], method: str = "auto") -> None:
+    """Dispatching AMO encoder.
+
+    ``method`` is one of ``"pairwise"``, ``"commander"`` or ``"auto"`` (use
+    pairwise for small inputs, commander otherwise).
+    """
+    lits = list(lits)
+    if len(lits) <= 1:
+        return
+    if method == "pairwise" or (method == "auto" and len(lits) <= 6):
+        at_most_one_pairwise(cnf, lits)
+    elif method == "commander" or method == "auto":
+        at_most_one_commander(cnf, lits)
+    else:
+        raise EncodingError(f"unknown at-most-one method {method!r}")
+
+
+def at_least_one(cnf, lits: Sequence[int]) -> None:
+    """ALO is a single clause; an empty input is unsatisfiable by convention."""
+    cnf.add_clause(list(lits))
+
+
+def exactly_one(cnf, lits: Sequence[int], method: str = "auto") -> None:
+    """Exactly-one = at-least-one + at-most-one."""
+    at_least_one(cnf, lits)
+    at_most_one(cnf, lits, method=method)
+
+
+# ----------------------------------------------------------------------
+# At-most-k via sequential counter (Sinz encoding)
+# ----------------------------------------------------------------------
+def at_most_k_sequential(cnf, lits: Sequence[int], k: int) -> None:
+    """Sinz sequential counter enforcing ``sum(lits) <= k``.
+
+    Uses ``n * k`` auxiliary variables and ``O(n * k)`` clauses.
+    """
+    lits = list(lits)
+    n = len(lits)
+    if k < 0:
+        raise EncodingError("at_most_k with negative bound")
+    if k == 0:
+        for lit in lits:
+            cnf.add_clause([-lit])
+        return
+    if n <= k:
+        return
+    # s[i][j]: among lits[0..i] at least j+1 are true (j in 0..k-1)
+    s = [[cnf.new_var() for _ in range(k)] for _ in range(n)]
+    cnf.add_clause([-lits[0], s[0][0]])
+    for j in range(1, k):
+        cnf.add_clause([-s[0][j]])
+    for i in range(1, n):
+        cnf.add_clause([-lits[i], s[i][0]])
+        cnf.add_clause([-s[i - 1][0], s[i][0]])
+        for j in range(1, k):
+            cnf.add_clause([-lits[i], -s[i - 1][j - 1], s[i][j]])
+            cnf.add_clause([-s[i - 1][j], s[i][j]])
+        cnf.add_clause([-lits[i], -s[i - 1][k - 1]])
+
+
+def at_most_k(cnf, lits: Sequence[int], k: int, method: str = "auto") -> None:
+    """Dispatching at-most-k encoder."""
+    lits = list(lits)
+    if k >= len(lits):
+        return
+    if k == 1 and (method == "auto" or method == "pairwise"):
+        at_most_one(cnf, lits)
+        return
+    if method in ("auto", "sequential"):
+        at_most_k_sequential(cnf, lits, k)
+    elif method == "totalizer":
+        outputs = totalizer(cnf, lits, bound=k + 1)
+        if len(outputs) > k:
+            cnf.add_clause([-outputs[k]])
+    else:
+        raise EncodingError(f"unknown at-most-k method {method!r}")
+
+
+def at_least_k(cnf, lits: Sequence[int], k: int) -> None:
+    """``sum(lits) >= k`` via at-most on the negations."""
+    lits = list(lits)
+    if k <= 0:
+        return
+    if k > len(lits):
+        # Unsatisfiable; add an empty-equivalent pair of clauses on a fresh var.
+        v = cnf.new_var()
+        cnf.add_clause([v])
+        cnf.add_clause([-v])
+        return
+    at_most_k(cnf, [-lit for lit in lits], len(lits) - k)
+
+
+def exactly_k(cnf, lits: Sequence[int], k: int) -> None:
+    """``sum(lits) == k``."""
+    at_most_k(cnf, lits, k)
+    at_least_k(cnf, lits, k)
+
+
+# ----------------------------------------------------------------------
+# Totalizer: full unary output counts
+# ----------------------------------------------------------------------
+def totalizer(cnf, lits: Sequence[int], bound: Optional[int] = None) -> List[int]:
+    """Build a totalizer over ``lits`` and return its unary outputs.
+
+    The returned list ``out`` satisfies ``out[i]`` is true iff at least
+    ``i + 1`` of the input literals are true (for ``i < bound``).  Counting
+    is truncated at ``bound`` outputs (defaults to ``len(lits)``), which is
+    what the SCCL bandwidth constraint needs: it only ever compares the
+    count against thresholds up to ``b * R``.
+
+    Only the "if at least i+1 inputs then out[i]" direction is encoded,
+    which is sufficient (and standard) for upper-bound constraints where
+    the outputs appear negatively.
+    """
+    lits = list(lits)
+    if bound is None:
+        bound = len(lits)
+    bound = max(0, min(bound, len(lits)))
+
+    def build(sub: List[int]) -> List[int]:
+        if len(sub) <= 1:
+            return list(sub)
+        mid = len(sub) // 2
+        left = build(sub[:mid])
+        right = build(sub[mid:])
+        width = min(bound, len(left) + len(right))
+        outputs = [cnf.new_var() for _ in range(width)]
+        # sum_left >= a and sum_right >= b implies sum >= a + b
+        for a in range(len(left) + 1):
+            for b in range(len(right) + 1):
+                total = a + b
+                if total == 0 or total > width:
+                    continue
+                clause = [outputs[total - 1]]
+                if a > 0:
+                    clause.append(-left[a - 1])
+                if b > 0:
+                    clause.append(-right[b - 1])
+                cnf.add_clause(clause)
+        return outputs
+
+    if bound == 0 or not lits:
+        return []
+    return build(lits)
+
+
+# ----------------------------------------------------------------------
+# Weighted pseudo-Boolean (<=) via sequential weighted counter
+# ----------------------------------------------------------------------
+def pseudo_boolean_leq(
+    cnf, lits: Sequence[int], weights: Sequence[int], bound: int
+) -> None:
+    """Encode ``sum(w_i * lit_i) <= bound`` for non-negative integer weights.
+
+    Implemented as a sequential weighted counter: ``state[i][v]`` is true
+    when the partial sum over the first ``i + 1`` terms is at least ``v``.
+    Auxiliary variable count is ``O(n * bound)``; this is only used for
+    moderate bounds (the synthesis encoding keeps bounds at ``b * R``).
+    """
+    if len(lits) != len(weights):
+        raise EncodingError("lits and weights must have equal length")
+    terms = [(lit, w) for lit, w in zip(lits, weights) if w > 0]
+    for _, w in terms:
+        if w < 0:
+            raise EncodingError("negative weights are not supported")
+    if bound < 0:
+        v = cnf.new_var()
+        cnf.add_clause([v])
+        cnf.add_clause([-v])
+        return
+    # Any term whose weight alone exceeds the bound must be false.
+    filtered = []
+    for lit, w in terms:
+        if w > bound:
+            cnf.add_clause([-lit])
+        else:
+            filtered.append((lit, w))
+    terms = filtered
+    total = sum(w for _, w in terms)
+    if total <= bound or not terms:
+        return
+
+    n = len(terms)
+    # state[v-1] for v in 1..bound ; rolled over terms
+    prev: List[Optional[int]] = [None] * bound
+    lit0, w0 = terms[0]
+    for v in range(1, bound + 1):
+        if v <= w0:
+            var = cnf.new_var()
+            cnf.add_clause([-lit0, var])
+            prev[v - 1] = var
+    for i in range(1, n):
+        lit, w = terms[i]
+        cur: List[Optional[int]] = [None] * bound
+        for v in range(1, bound + 1):
+            var = None
+            # carry: previous sum already >= v
+            if prev[v - 1] is not None:
+                var = cnf.new_var()
+                cnf.add_clause([-prev[v - 1], var])
+            # this term alone reaches v
+            if v <= w:
+                if var is None:
+                    var = cnf.new_var()
+                cnf.add_clause([-lit, var])
+            # previous sum >= v - w and this term is true
+            if w > 0 and v - w >= 1 and prev[v - w - 1] is not None:
+                if var is None:
+                    var = cnf.new_var()
+                cnf.add_clause([-lit, -prev[v - w - 1], var])
+            cur[v - 1] = var
+        # overflow check: previous sum >= bound - w + 1 and term true -> violation
+        if w > 0:
+            threshold = bound - w + 1
+            if threshold <= 0:
+                cnf.add_clause([-lit])
+            elif threshold <= bound and prev[threshold - 1] is not None:
+                cnf.add_clause([-lit, -prev[threshold - 1]])
+        prev = cur
+
+
+def pseudo_boolean_eq(
+    cnf, lits: Sequence[int], weights: Sequence[int], bound: int
+) -> None:
+    """``sum(w_i * lit_i) == bound`` via a (<=) pair on original/negated literals."""
+    if len(lits) != len(weights):
+        raise EncodingError("lits and weights must have equal length")
+    pseudo_boolean_leq(cnf, lits, weights, bound)
+    # sum w*x >= bound  <=>  sum w*(1-x) <= total - bound
+    total = sum(weights)
+    pseudo_boolean_leq(cnf, [-lit for lit in lits], weights, total - bound)

@@ -1,0 +1,598 @@
+"""A CDCL SAT solver in pure Python.
+
+This is the solving substrate that replaces Z3 in the SCCL reproduction.
+The paper's synthesis encoding is a quantifier-free finite-domain formula
+(Booleans, bounded integers and pseudo-Boolean sums), so a SAT solver plus
+the encoders in :mod:`repro.solver.encoders` and
+:mod:`repro.solver.intvar` is a complete substitute.
+
+The implementation follows the standard modern architecture:
+
+* two-watched-literal Boolean constraint propagation,
+* first-UIP conflict analysis with clause learning,
+* VSIDS-style variable activities with exponential decay,
+* phase saving,
+* Luby-sequence restarts,
+* learned-clause database reduction driven by clause activities.
+
+The solver supports incremental solving under assumptions, which the
+synthesis layer uses when probing neighbouring (S, R, C) instances.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .cnf import CNF, lit_var
+
+
+class SolveResult(Enum):
+    """Outcome of a :meth:`SATSolver.solve` call."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"  # resource limit (time or conflicts) exceeded
+
+
+class SolverStats:
+    """Mutable counters describing the work performed by the solver."""
+
+    __slots__ = (
+        "decisions",
+        "propagations",
+        "conflicts",
+        "restarts",
+        "learned_clauses",
+        "deleted_clauses",
+        "max_decision_level",
+        "solve_time",
+    )
+
+    def __init__(self) -> None:
+        self.decisions = 0
+        self.propagations = 0
+        self.conflicts = 0
+        self.restarts = 0
+        self.learned_clauses = 0
+        self.deleted_clauses = 0
+        self.max_decision_level = 0
+        self.solve_time = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"SolverStats({inner})"
+
+
+def luby(i: int) -> int:
+    """Return the i-th element (1-based) of the Luby restart sequence."""
+    if i < 1:
+        raise ValueError("luby is defined for indices >= 1")
+    # Find the finite subsequence that contains index i and the position of
+    # i within it (MiniSat's formulation, shifted to 1-based indices).
+    x = i - 1
+    size, exponent = 1, 0
+    while size < x + 1:
+        exponent += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        exponent -= 1
+        x %= size
+    return 1 << exponent
+
+
+class _Clause:
+    """Internal clause representation with an activity score."""
+
+    __slots__ = ("lits", "learnt", "activity")
+
+    def __init__(self, lits: List[int], learnt: bool = False) -> None:
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+
+
+UNASSIGNED = 0
+TRUE = 1
+FALSE = -1
+
+
+class SATSolver:
+    """Conflict-driven clause-learning SAT solver.
+
+    The solver owns its variable space.  Use :meth:`new_var` to allocate
+    variables, :meth:`add_clause` to add clauses, and :meth:`solve` to
+    search for a model.  After a SAT answer, :meth:`model_value` or
+    :meth:`model` read the satisfying assignment.
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        # Indexed by variable (1-based; index 0 unused).
+        self._value: List[int] = [UNASSIGNED]
+        self._level: List[int] = [0]
+        self._reason: List[Optional[_Clause]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
+        self._seen: List[bool] = [False]
+        # Watch lists indexed by literal key (2*v for positive, 2*v+1 for negative).
+        self._watches: List[List[_Clause]] = [[], []]
+        self._clauses: List[_Clause] = []
+        self._learnts: List[_Clause] = []
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._propagate_head = 0
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._ok = True
+        # Lazy max-heap over variable activity: entries are (-activity, var)
+        # and may be stale; staleness is resolved at pop time.
+        self._order_heap: List[tuple[float, int]] = []
+        self.stats = SolverStats()
+        self._model: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Variable / clause creation
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its (positive) index."""
+        self.num_vars += 1
+        self._value.append(UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        self._seen.append(False)
+        self._watches.append([])
+        self._watches.append([])
+        heapq.heappush(self._order_heap, (0.0, self.num_vars))
+        return self.num_vars
+
+    def ensure_vars(self, max_var: int) -> None:
+        """Grow the variable space so that ``max_var`` is valid."""
+        while self.num_vars < max_var:
+            self.new_var()
+
+    @staticmethod
+    def _lit_key(lit: int) -> int:
+        return (lit << 1) if lit > 0 else ((-lit << 1) | 1)
+
+    def _lit_value(self, lit: int) -> int:
+        v = self._value[abs(lit)]
+        if v == UNASSIGNED:
+            return UNASSIGNED
+        return v if lit > 0 else -v
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause.  Returns ``False`` if the formula became trivially UNSAT."""
+        if not self._ok:
+            return False
+        seen = set()
+        clause: List[int] = []
+        for lit in lits:
+            if lit == 0:
+                raise ValueError("literal 0 not allowed")
+            self.ensure_vars(abs(lit))
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            # Skip literals already falsified at level 0, drop clause if satisfied.
+            if self._level[abs(lit)] == 0 and self._value[abs(lit)] != UNASSIGNED:
+                val = self._lit_value(lit)
+                if val == TRUE:
+                    return True
+                if val == FALSE:
+                    continue
+            seen.add(lit)
+            clause.append(lit)
+
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        c = _Clause(clause, learnt=False)
+        self._clauses.append(c)
+        self._attach(c)
+        return True
+
+    def add_cnf(self, cnf: CNF) -> bool:
+        """Load every clause of a :class:`~repro.solver.cnf.CNF` object."""
+        self.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            if not self.add_clause(clause):
+                return False
+        return True
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[self._lit_key(-clause.lits[0])].append(clause)
+        self._watches[self._lit_key(-clause.lits[1])].append(clause)
+
+    # ------------------------------------------------------------------
+    # Assignment & propagation
+    # ------------------------------------------------------------------
+    @property
+    def decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+        val = self._lit_value(lit)
+        if val == FALSE:
+            return False
+        if val == TRUE:
+            return True
+        var = abs(lit)
+        self._value[var] = TRUE if lit > 0 else FALSE
+        self._level[var] = self.decision_level
+        self._reason[var] = reason
+        self._phase[var] = lit > 0
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns a conflicting clause or ``None``."""
+        while self._propagate_head < len(self._trail):
+            lit = self._trail[self._propagate_head]
+            self._propagate_head += 1
+            self.stats.propagations += 1
+            watch_key = self._lit_key(lit)
+            watchers = self._watches[watch_key]
+            new_watchers: List[_Clause] = []
+            i = 0
+            n = len(watchers)
+            conflict: Optional[_Clause] = None
+            while i < n:
+                clause = watchers[i]
+                i += 1
+                lits = clause.lits
+                # Normalize so that the false literal is lits[1].
+                if lits[0] == -lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                first_val = self._lit_value(first)
+                if first_val == TRUE:
+                    new_watchers.append(clause)
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for k in range(2, len(lits)):
+                    lk = lits[k]
+                    if self._lit_value(lk) != FALSE:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches[self._lit_key(-lits[1])].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                new_watchers.append(clause)
+                if first_val == FALSE:
+                    # Conflict: copy the remaining watchers back and bail out.
+                    new_watchers.extend(watchers[i:])
+                    conflict = clause
+                    break
+                self._enqueue(first, clause)
+            self._watches[watch_key] = new_watchers
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        heapq.heappush(self._order_heap, (-self._activity[var], var))
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learnts:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _analyze(self, conflict: _Clause) -> tuple[List[int], int]:
+        """First-UIP conflict analysis.
+
+        Returns the learnt clause (with the asserting literal first) and the
+        backtrack level.
+        """
+        learnt: List[int] = [0]  # placeholder for the asserting literal
+        seen = self._seen
+        counter = 0
+        lit = None
+        index = len(self._trail) - 1
+        clause: Optional[_Clause] = conflict
+        current_level = self.decision_level
+        path_vars: List[int] = []
+
+        while True:
+            assert clause is not None
+            if clause.learnt:
+                self._bump_clause(clause)
+            start = 0 if lit is None else 1
+            for l in clause.lits[start:]:
+                var = abs(l)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    path_vars.append(var)
+                    self._bump_var(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(l)
+            # Select next literal from the trail to resolve on.
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            lit = self._trail[index]
+            index -= 1
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            clause = self._reason[var]
+            if counter == 0:
+                break
+        learnt[0] = -lit
+
+        # Learnt clause minimization (simple self-subsumption check).
+        minimized = [learnt[0]]
+        for l in learnt[1:]:
+            var = abs(l)
+            reason = self._reason[var]
+            if reason is None:
+                minimized.append(l)
+                continue
+            redundant = True
+            for rl in reason.lits:
+                rv = abs(rl)
+                if rv != var and not seen[rv] and self._level[rv] > 0:
+                    redundant = False
+                    break
+            if not redundant:
+                minimized.append(l)
+        learnt = minimized
+
+        for var in path_vars:
+            seen[var] = False
+
+        if len(learnt) == 1:
+            backtrack_level = 0
+        else:
+            # Find the literal with the second-highest level and place it second.
+            max_i = 1
+            max_level = self._level[abs(learnt[1])]
+            for i in range(2, len(learnt)):
+                lvl = self._level[abs(learnt[i])]
+                if lvl > max_level:
+                    max_level = lvl
+                    max_i = i
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            backtrack_level = max_level
+        return learnt, backtrack_level
+
+    def _backtrack(self, level: int) -> None:
+        if self.decision_level <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = abs(lit)
+            self._phase[var] = self._value[var] == TRUE
+            self._value[var] = UNASSIGNED
+            self._reason[var] = None
+            heapq.heappush(self._order_heap, (-self._activity[var], var))
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._propagate_head = min(self._propagate_head, len(self._trail))
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def _pick_branch_var(self) -> Optional[int]:
+        value = self._value
+        heap = self._order_heap
+        while heap:
+            _, var = heapq.heappop(heap)
+            if value[var] == UNASSIGNED:
+                return var
+        # The heap can run dry while unassigned variables remain only if an
+        # entry was consumed earlier without being re-pushed; fall back to a
+        # scan to preserve completeness.
+        for var in range(1, self.num_vars + 1):
+            if value[var] == UNASSIGNED:
+                return var
+        return None
+
+    def _reduce_db(self) -> None:
+        """Remove half of the learnt clauses with the lowest activity."""
+        if len(self._learnts) < 100:
+            return
+        self._learnts.sort(key=lambda c: c.activity)
+        keep_from = len(self._learnts) // 2
+        locked = set()
+        for var in range(1, self.num_vars + 1):
+            reason = self._reason[var]
+            if reason is not None:
+                locked.add(id(reason))
+        removed: List[_Clause] = []
+        kept: List[_Clause] = []
+        for i, clause in enumerate(self._learnts):
+            if i < keep_from and id(clause) not in locked and len(clause.lits) > 2:
+                removed.append(clause)
+            else:
+                kept.append(clause)
+        if not removed:
+            return
+        removed_ids = {id(c) for c in removed}
+        for key in range(len(self._watches)):
+            self._watches[key] = [c for c in self._watches[key] if id(c) not in removed_ids]
+        self._learnts = kept
+        self.stats.deleted_clauses += len(removed)
+
+    # ------------------------------------------------------------------
+    # Main search loop
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        *,
+        conflict_limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ) -> SolveResult:
+        """Search for a model.
+
+        Parameters
+        ----------
+        assumptions:
+            Literals assumed true for this call only (incremental interface).
+        conflict_limit:
+            Abort with :data:`SolveResult.UNKNOWN` after this many conflicts.
+        time_limit:
+            Abort with :data:`SolveResult.UNKNOWN` after this many seconds.
+        """
+        start_time = time.monotonic()
+        self._model = {}
+        if not self._ok:
+            return SolveResult.UNSAT
+        self._backtrack(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return SolveResult.UNSAT
+
+        restart_count = 0
+        conflicts_since_restart = 0
+        restart_limit = 64 * luby(1)
+        total_conflicts_this_call = 0
+        max_learnts = max(1000, len(self._clauses) // 2)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                total_conflicts_this_call += 1
+                conflicts_since_restart += 1
+                if self.decision_level == 0:
+                    self._ok = False
+                    self.stats.solve_time += time.monotonic() - start_time
+                    return SolveResult.UNSAT
+                learnt, backtrack_level = self._analyze(conflict)
+                self._backtrack(backtrack_level)
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], None)
+                else:
+                    clause = _Clause(learnt, learnt=True)
+                    self._learnts.append(clause)
+                    self.stats.learned_clauses += 1
+                    self._attach(clause)
+                    self._bump_clause(clause)
+                    self._enqueue(learnt[0], clause)
+                self._var_inc /= self._var_decay
+                self._cla_inc /= self._cla_decay
+                if conflict_limit is not None and total_conflicts_this_call >= conflict_limit:
+                    self.stats.solve_time += time.monotonic() - start_time
+                    return SolveResult.UNKNOWN
+                if time_limit is not None and (self.stats.conflicts & 63) == 0:
+                    if time.monotonic() - start_time > time_limit:
+                        self.stats.solve_time += time.monotonic() - start_time
+                        return SolveResult.UNKNOWN
+                continue
+
+            # No conflict.
+            if time_limit is not None and time.monotonic() - start_time > time_limit:
+                self.stats.solve_time += time.monotonic() - start_time
+                return SolveResult.UNKNOWN
+
+            if conflicts_since_restart >= restart_limit:
+                restart_count += 1
+                self.stats.restarts += 1
+                conflicts_since_restart = 0
+                restart_limit = 64 * luby(restart_count + 1)
+                self._backtrack(0)
+                continue
+
+            if len(self._learnts) > max_learnts:
+                self._reduce_db()
+                max_learnts = int(max_learnts * 1.3)
+
+            # Apply assumptions first, then decide.
+            next_lit = None
+            for assumption in assumptions:
+                val = self._lit_value(assumption)
+                if val == TRUE:
+                    continue
+                if val == FALSE:
+                    self.stats.solve_time += time.monotonic() - start_time
+                    return SolveResult.UNSAT
+                next_lit = assumption
+                break
+            if next_lit is None:
+                var = self._pick_branch_var()
+                if var is None:
+                    # All variables assigned: a model.
+                    self._model = {
+                        v: self._value[v] == TRUE for v in range(1, self.num_vars + 1)
+                    }
+                    self._backtrack(0)
+                    self.stats.solve_time += time.monotonic() - start_time
+                    return SolveResult.SAT
+                next_lit = var if self._phase[var] else -var
+                self.stats.decisions += 1
+
+            self._trail_lim.append(len(self._trail))
+            self.stats.max_decision_level = max(
+                self.stats.max_decision_level, self.decision_level
+            )
+            self._enqueue(next_lit, None)
+
+    # ------------------------------------------------------------------
+    # Model access
+    # ------------------------------------------------------------------
+    def model(self) -> Dict[int, bool]:
+        """Return the last satisfying assignment as ``{var: bool}``."""
+        return dict(self._model)
+
+    def model_value(self, lit: int) -> bool:
+        """Truth value of a literal in the last model."""
+        value = self._model.get(abs(lit))
+        if value is None:
+            raise ValueError(f"variable {abs(lit)} has no model value (no SAT result yet?)")
+        return value if lit > 0 else not value
+
+
+def solve_cnf(
+    cnf: CNF,
+    *,
+    assumptions: Sequence[int] = (),
+    conflict_limit: Optional[int] = None,
+    time_limit: Optional[float] = None,
+) -> tuple[SolveResult, Optional[Dict[int, bool]]]:
+    """Convenience helper: solve a CNF object and return (result, model)."""
+    solver = SATSolver()
+    if not solver.add_cnf(cnf):
+        return SolveResult.UNSAT, None
+    result = solver.solve(
+        assumptions, conflict_limit=conflict_limit, time_limit=time_limit
+    )
+    if result is SolveResult.SAT:
+        return result, solver.model()
+    return result, None

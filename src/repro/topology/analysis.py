@@ -1,0 +1,191 @@
+"""Topology analysis: distances, diameter, bisection bandwidth.
+
+Algorithm 1 (Pareto-Synthesize) needs two lower bounds computed from the
+topology:
+
+* ``a_l`` — the latency lower bound, which is the diameter of the directed
+  link graph (any chunk must be able to reach the farthest node that needs
+  it, and each step moves a chunk by at most one hop), and
+* ``b_l`` — the bandwidth lower bound, the *inverse bisection bandwidth*:
+  for Allgather-style collectives every node must receive ``(P-1)/P`` of the
+  global data, so the per-node incoming capacity bounds how fast any
+  algorithm can finish.
+
+This module also provides all-pairs shortest path distances used by the
+encoder for pruning (a chunk cannot be present at a node earlier than its
+graph distance from the chunk's source).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .topology import Link, Topology, TopologyError
+
+
+def shortest_path_lengths(topology: Topology) -> Dict[int, Dict[int, int]]:
+    """All-pairs unweighted shortest path lengths over directed links.
+
+    Unreachable pairs are absent from the inner dictionaries.
+    """
+    adjacency: Dict[int, List[int]] = {n: [] for n in topology.nodes()}
+    for (src, dst) in topology.links():
+        adjacency[src].append(dst)
+    distances: Dict[int, Dict[int, int]] = {}
+    for source in topology.nodes():
+        dist = {source: 0}
+        frontier = [source]
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier = []
+            for node in frontier:
+                for neighbor in adjacency[node]:
+                    if neighbor not in dist:
+                        dist[neighbor] = depth
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        distances[source] = dist
+    return distances
+
+
+def distance(topology: Topology, src: int, dst: int) -> Optional[int]:
+    """Length of the shortest directed path from ``src`` to ``dst`` (None if unreachable)."""
+    return shortest_path_lengths(topology).get(src, {}).get(dst)
+
+
+def is_strongly_connected(topology: Topology) -> bool:
+    distances = shortest_path_lengths(topology)
+    n = topology.num_nodes
+    return all(len(distances[node]) == n for node in topology.nodes())
+
+
+def diameter(topology: Topology) -> int:
+    """Directed diameter; raises if the graph is not strongly connected."""
+    distances = shortest_path_lengths(topology)
+    worst = 0
+    for source in topology.nodes():
+        if len(distances[source]) != topology.num_nodes:
+            missing = set(topology.nodes()) - set(distances[source])
+            raise TopologyError(
+                f"topology {topology.name!r} is not strongly connected: "
+                f"{source} cannot reach {sorted(missing)}"
+            )
+        worst = max(worst, max(distances[source].values()))
+    return worst
+
+
+def node_in_capacity(topology: Topology, node: int) -> int:
+    """Aggregate chunks/round that can arrive at ``node`` (its incoming capacity)."""
+    capacity = topology.link_capacity()
+    return sum(cap for (src, dst), cap in capacity.items() if dst == node)
+
+
+def node_out_capacity(topology: Topology, node: int) -> int:
+    capacity = topology.link_capacity()
+    return sum(cap for (src, dst), cap in capacity.items() if src == node)
+
+
+def min_node_in_capacity(topology: Topology) -> int:
+    return min(node_in_capacity(topology, node) for node in topology.nodes())
+
+
+def min_node_out_capacity(topology: Topology) -> int:
+    return min(node_out_capacity(topology, node) for node in topology.nodes())
+
+
+def cut_capacity(topology: Topology, part: Set[int]) -> int:
+    """Capacity (chunks/round) of directed links crossing from outside ``part`` into it."""
+    capacity = topology.link_capacity()
+    return sum(
+        cap for (src, dst), cap in capacity.items() if dst in part and src not in part
+    )
+
+
+def bisection_cut_capacity(topology: Topology, exact_limit: int = 12) -> int:
+    """Minimum incoming capacity over all (near-)balanced bipartitions.
+
+    For small node counts (``P <= exact_limit``) every balanced bipartition
+    is enumerated; beyond that a node-local lower bound is used, which is
+    exact for the topologies in the paper.
+    """
+    n = topology.num_nodes
+    if n < 2:
+        return 0
+    half = n // 2
+    if n <= exact_limit:
+        best: Optional[int] = None
+        nodes = list(topology.nodes())
+        for subset in combinations(nodes, half):
+            part = set(subset)
+            cut = min(cut_capacity(topology, part), cut_capacity(topology, set(nodes) - part))
+            if best is None or cut < best:
+                best = cut
+        return best if best is not None else 0
+    return min_node_in_capacity(topology)
+
+
+def inverse_bisection_bandwidth(
+    topology: Topology, per_node_fraction: Optional[Fraction] = None
+) -> Fraction:
+    """Bandwidth lower bound ``b_l`` in rounds per (per-node) chunk.
+
+    For an Allgather each node must receive the other ``P - 1`` nodes'
+    data; with an aggregate incoming capacity of ``cap`` chunks per round
+    the best achievable bandwidth cost (the ``R / C`` ratio of a schedule)
+    is ``(P - 1) / cap``.  The DGX-1 figure from Section 2.4 — ``7/6`` —
+    falls out of this directly (7 peer chunks over 6 incoming NVLinks).
+
+    ``per_node_fraction`` overrides the numerator for collectives that move
+    less data (e.g. Broadcast needs each non-root to receive 1 chunk's worth
+    per input chunk).
+    """
+    cap = min_node_in_capacity(topology)
+    if cap == 0:
+        raise TopologyError(f"node with zero incoming capacity in {topology.name!r}")
+    numerator = (
+        per_node_fraction
+        if per_node_fraction is not None
+        else Fraction(topology.num_nodes - 1, 1)
+    )
+    return Fraction(numerator, cap)
+
+
+def latency_lower_bound(topology: Topology) -> int:
+    """Latency lower bound ``a_l`` = topology diameter (steps)."""
+    return diameter(topology)
+
+
+def link_utilization(topology: Topology, sends_per_link: Dict[Link, int]) -> Dict[Link, float]:
+    """Fraction of per-round capacity consumed on each link for a set of sends.
+
+    Used by tests and by the evaluation harness to sanity-check that
+    synthesized schedules saturate the links they claim to saturate.
+    """
+    capacity = topology.link_capacity()
+    utilization: Dict[Link, float] = {}
+    for link, count in sends_per_link.items():
+        cap = capacity.get(link, 0)
+        if cap == 0:
+            raise TopologyError(f"sends scheduled on non-existent link {link}")
+        utilization[link] = count / cap
+    return utilization
+
+
+def to_networkx(topology: Topology):
+    """Export the directed link graph to a :class:`networkx.DiGraph`.
+
+    Link capacities become the ``capacity`` edge attribute.  The export is
+    used by the examples for visualization/degree statistics and lets users
+    run their own graph algorithms on modeled machines.
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph(name=topology.name)
+    graph.add_nodes_from(topology.nodes())
+    for (src, dst), cap in topology.link_capacity().items():
+        if cap > 0:
+            graph.add_edge(src, dst, capacity=cap)
+    return graph

@@ -1,0 +1,141 @@
+"""Constructors for common synthetic topologies.
+
+These are the topologies used throughout the tests, the examples and the
+paper's motivating discussion (the 4-node ring of Figure 2, fully-connected
+groups, trees/stars, hypercubes and tori from the related-work algorithms).
+All constructors return a :class:`~repro.topology.topology.Topology` whose
+bandwidth relation consists of point-to-point constraints unless stated
+otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .topology import BandwidthConstraint, Link, Topology, TopologyError
+
+
+def ring(
+    num_nodes: int,
+    bandwidth: int = 1,
+    bidirectional: bool = True,
+    name: Optional[str] = None,
+    alpha: float = 5e-6,
+    beta: float = 1.0 / 25e9,
+) -> Topology:
+    """A ring of ``num_nodes`` nodes.
+
+    With ``bidirectional=True`` (the default) each adjacent pair gets links
+    in both directions, as in Figure 2 of the paper.
+    """
+    if num_nodes < 2:
+        raise TopologyError("a ring needs at least 2 nodes")
+    topo = Topology(
+        name=name or f"ring{num_nodes}", num_nodes=num_nodes, alpha=alpha, beta=beta
+    )
+    for node in range(num_nodes):
+        nxt = (node + 1) % num_nodes
+        topo.add_link(node, nxt, bandwidth)
+        if bidirectional:
+            topo.add_link(nxt, node, bandwidth)
+    return topo
+
+
+def line(num_nodes: int, bandwidth: int = 1, name: Optional[str] = None) -> Topology:
+    """A bidirectional path graph."""
+    if num_nodes < 2:
+        raise TopologyError("a line needs at least 2 nodes")
+    topo = Topology(name=name or f"line{num_nodes}", num_nodes=num_nodes)
+    for node in range(num_nodes - 1):
+        topo.add_link(node, node + 1, bandwidth)
+        topo.add_link(node + 1, node, bandwidth)
+    return topo
+
+
+def star(num_nodes: int, bandwidth: int = 1, center: int = 0, name: Optional[str] = None) -> Topology:
+    """A star with ``center`` connected bidirectionally to every other node."""
+    if num_nodes < 2:
+        raise TopologyError("a star needs at least 2 nodes")
+    if not 0 <= center < num_nodes:
+        raise TopologyError("star center out of range")
+    topo = Topology(name=name or f"star{num_nodes}", num_nodes=num_nodes)
+    for node in range(num_nodes):
+        if node == center:
+            continue
+        topo.add_link(center, node, bandwidth)
+        topo.add_link(node, center, bandwidth)
+    return topo
+
+
+def fully_connected(num_nodes: int, bandwidth: int = 1, name: Optional[str] = None) -> Topology:
+    """A complete directed graph (every ordered pair is a link)."""
+    if num_nodes < 2:
+        raise TopologyError("a fully connected topology needs at least 2 nodes")
+    topo = Topology(name=name or f"fc{num_nodes}", num_nodes=num_nodes)
+    for src in range(num_nodes):
+        for dst in range(num_nodes):
+            if src != dst:
+                topo.add_link(src, dst, bandwidth)
+    return topo
+
+
+def hypercube(dimensions: int, bandwidth: int = 1, name: Optional[str] = None) -> Topology:
+    """A binary hypercube with ``2 ** dimensions`` nodes."""
+    if dimensions < 1:
+        raise TopologyError("hypercube needs at least one dimension")
+    num_nodes = 1 << dimensions
+    topo = Topology(name=name or f"hypercube{dimensions}", num_nodes=num_nodes)
+    for node in range(num_nodes):
+        for bit in range(dimensions):
+            peer = node ^ (1 << bit)
+            topo.add_link(node, peer, bandwidth)
+    return topo
+
+
+def torus_2d(rows: int, cols: int, bandwidth: int = 1, name: Optional[str] = None) -> Topology:
+    """A 2-D torus (wrap-around mesh); node (r, c) has index ``r * cols + c``."""
+    if rows < 2 or cols < 2:
+        raise TopologyError("torus needs at least 2x2 nodes")
+    topo = Topology(name=name or f"torus{rows}x{cols}", num_nodes=rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            right = r * cols + (c + 1) % cols
+            down = ((r + 1) % rows) * cols + c
+            for peer in (right, down):
+                topo.add_link(node, peer, bandwidth)
+                topo.add_link(peer, node, bandwidth)
+    return topo
+
+
+def shared_bus(num_nodes: int, bandwidth: int = 1, name: Optional[str] = None) -> Topology:
+    """All-to-all connectivity where only ``bandwidth`` messages total fit per round.
+
+    This exercises the most general form of the bandwidth relation (a single
+    constraint covering every link), as described in Section 3.2.1 for
+    shared-bus topologies.
+    """
+    if num_nodes < 2:
+        raise TopologyError("a shared bus needs at least 2 nodes")
+    topo = Topology(name=name or f"bus{num_nodes}", num_nodes=num_nodes)
+    links = [(s, d) for s in range(num_nodes) for d in range(num_nodes) if s != d]
+    # Individual links exist (capacity = bus capacity)...
+    for (s, d) in links:
+        topo.add_link(s, d, bandwidth)
+    # ...but the shared constraint caps the total per round.
+    topo.add_shared_constraint(links, bandwidth, name="bus")
+    return topo
+
+
+def from_edge_list(
+    num_nodes: int,
+    edges: Iterable[Tuple[int, int, int]],
+    name: str = "custom",
+    alpha: float = 5e-6,
+    beta: float = 1.0 / 25e9,
+) -> Topology:
+    """Build a topology from ``(src, dst, bandwidth)`` triples (directed)."""
+    topo = Topology(name=name, num_nodes=num_nodes, alpha=alpha, beta=beta)
+    for (src, dst, bandwidth) in edges:
+        topo.add_link(src, dst, bandwidth)
+    return topo

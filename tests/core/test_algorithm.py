@@ -1,0 +1,178 @@
+"""Tests for Algorithm run semantics, verification and cost."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.collectives import get_collective
+from repro.core import Algorithm, AlgorithmError, Send, Step
+from repro.topology import ring, fully_connected
+
+
+def make_ring_allgather_c1():
+    """Hand-written 2-step Allgather on a 4-ring (each node forwards left/right)."""
+    topo = ring(4)
+    spec = get_collective("Allgather")
+    pre = spec.precondition(4, 1)
+    post = spec.postcondition(4, 1)
+    step0 = Step(rounds=1, sends=tuple(
+        Send(chunk=n, src=n, dst=(n + 1) % 4) for n in range(4)
+    ) + tuple(
+        Send(chunk=n, src=n, dst=(n - 1) % 4) for n in range(4)
+    ))
+    step1 = Step(rounds=1, sends=tuple(
+        Send(chunk=(n - 1) % 4, src=n, dst=(n + 1) % 4) for n in range(4)
+    ))
+    return Algorithm(
+        name="ring4_allgather_hand",
+        collective="Allgather",
+        topology=topo,
+        chunks_per_node=1,
+        num_chunks=4,
+        precondition=pre,
+        postcondition=post,
+        steps=[step0, step1],
+    )
+
+
+class TestSendAndStep:
+    def test_self_send_rejected(self):
+        with pytest.raises(AlgorithmError):
+            Send(chunk=0, src=1, dst=1)
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(AlgorithmError):
+            Send(chunk=0, src=0, dst=1, op="teleport")
+
+    def test_reversed_send(self):
+        send = Send(chunk=3, src=1, dst=2)
+        rev = send.reversed()
+        assert (rev.src, rev.dst, rev.op) == (2, 1, "reduce")
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(AlgorithmError):
+            Step(rounds=-1)
+
+    def test_sends_on_link(self):
+        step = Step(rounds=1, sends=(Send(0, 0, 1), Send(1, 0, 1), Send(2, 1, 0)))
+        assert len(step.sends_on_link(0, 1)) == 2
+
+
+class TestAlgorithmProperties:
+    def test_signature_and_costs(self):
+        algo = make_ring_allgather_c1()
+        assert algo.signature() == (1, 2, 2)
+        assert algo.num_steps == 2
+        assert algo.total_rounds == 2
+        assert algo.bandwidth_cost == Fraction(2, 1)
+        assert algo.synchrony == 0
+        assert algo.rounds_per_step == [1, 1]
+        assert algo.total_sends == 12
+
+    def test_cost_model(self):
+        algo = make_ring_allgather_c1()
+        cost = algo.cost(size_bytes=1000, alpha=1e-6, beta=1e-9)
+        assert cost == pytest.approx(2 * 1e-6 + 2 * 1000 * 1e-9)
+
+    def test_verify_valid_algorithm(self):
+        make_ring_allgather_c1().verify()
+
+    def test_is_valid(self):
+        assert make_ring_allgather_c1().is_valid()
+
+    def test_describe_contains_schedule(self):
+        text = make_ring_allgather_c1().describe()
+        assert "step 0" in text and "step 1" in text
+        assert "Allgather" in text
+
+
+class TestVerificationFailures:
+    def test_missing_chunk_detected(self):
+        algo = make_ring_allgather_c1()
+        algo.steps = [algo.steps[0]]  # drop the second step
+        with pytest.raises(AlgorithmError):
+            algo.verify()
+        assert not algo.is_valid()
+
+    def test_send_of_absent_chunk_detected(self):
+        algo = make_ring_allgather_c1()
+        # Node 0 sends chunk 2 it does not hold at step 0.
+        bad = Step(rounds=1, sends=(Send(chunk=2, src=0, dst=1),))
+        algo.steps = [bad] + algo.steps
+        with pytest.raises(AlgorithmError, match="does not hold"):
+            algo.run()
+
+    def test_bandwidth_violation_detected(self):
+        algo = make_ring_allgather_c1()
+        # Cram an extra send onto an already-full unit link at step 0.
+        extra = Send(chunk=1, src=1, dst=2)
+        algo.steps[0] = Step(rounds=1, sends=algo.steps[0].sends + (extra,))
+        with pytest.raises(AlgorithmError, match="exceed bandwidth"):
+            algo.check_bandwidth()
+
+    def test_send_on_missing_link_detected(self):
+        algo = make_ring_allgather_c1()
+        algo.steps[0] = Step(rounds=1, sends=(Send(chunk=0, src=0, dst=2),))
+        with pytest.raises(AlgorithmError, match="non-existent link"):
+            algo.check_bandwidth()
+
+    def test_double_counting_in_reduction_detected(self):
+        topo = fully_connected(3)
+        pre = frozenset((0, n) for n in range(3))
+        post = frozenset({(0, 0)})
+        # Node 1 and node 2 both fold their partial into node 0, but node 2
+        # first absorbs node 1's partial — then node 1 sends again: overlap.
+        steps = [
+            Step(rounds=1, sends=(Send(0, 1, 2, op="reduce"),)),
+            Step(rounds=1, sends=(Send(0, 2, 0, op="reduce"), Send(0, 1, 0, op="reduce"))),
+        ]
+        algo = Algorithm(
+            name="bad_reduce", collective="Reduce", topology=topo,
+            chunks_per_node=1, num_chunks=1, precondition=pre, postcondition=post,
+            steps=steps, combining=True,
+        )
+        with pytest.raises(AlgorithmError, match="double-counts"):
+            algo.verify()
+
+    def test_incomplete_reduction_detected(self):
+        topo = fully_connected(3)
+        pre = frozenset((0, n) for n in range(3))
+        post = frozenset({(0, 0)})
+        steps = [Step(rounds=1, sends=(Send(0, 1, 0, op="reduce"),))]
+        algo = Algorithm(
+            name="partial_reduce", collective="Reduce", topology=topo,
+            chunks_per_node=1, num_chunks=1, precondition=pre, postcondition=post,
+            steps=steps, combining=True,
+        )
+        with pytest.raises(AlgorithmError, match="missing contributions"):
+            algo.verify()
+
+
+class TestTransformations:
+    def test_concatenate(self):
+        a = make_ring_allgather_c1()
+        b = make_ring_allgather_c1()
+        combined = a.concatenate(b)
+        assert combined.num_steps == 4
+        assert combined.total_rounds == 4
+
+    def test_concatenate_mismatched_chunks_rejected(self):
+        a = make_ring_allgather_c1()
+        b = make_ring_allgather_c1()
+        b.num_chunks = 8
+        with pytest.raises(AlgorithmError):
+            a.concatenate(b)
+
+    def test_serialization_roundtrip(self):
+        algo = make_ring_allgather_c1()
+        data = algo.to_dict()
+        restored = Algorithm.from_dict(data)
+        restored.verify()
+        assert restored.signature() == algo.signature()
+        assert restored.sends_per_link() == algo.sends_per_link()
+
+    def test_sends_per_link(self):
+        counts = make_ring_allgather_c1().sends_per_link()
+        # Step 0 uses every link once; step 1 uses the 4 forward links once more.
+        assert counts[(0, 1)] == 2
+        assert counts[(1, 0)] == 1

@@ -1,0 +1,123 @@
+"""Tests for the alpha-beta cost model and Pareto utilities."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    CostError,
+    CostPoint,
+    algorithm_cost,
+    best_algorithm_for_size,
+    cost_point,
+    crossover_size,
+    is_pareto_optimal,
+    pareto_frontier,
+    speedup,
+)
+
+
+def test_algorithm_cost_formula():
+    # 7 alpha + 7/6 L beta: the DGX-1 6-ring Allgather (Section 2.4).
+    cost = algorithm_cost(steps=7, rounds=7, chunks=6, size_bytes=6_000_000,
+                          alpha=5e-6, beta=4e-11)
+    assert cost == pytest.approx(7 * 5e-6 + (7 / 6) * 6_000_000 * 4e-11)
+
+
+def test_cost_validation():
+    with pytest.raises(CostError):
+        algorithm_cost(-1, 1, 1, 1, 1, 1)
+    with pytest.raises(CostError):
+        algorithm_cost(1, 1, 0, 1, 1, 1)
+    with pytest.raises(CostError):
+        algorithm_cost(1, 1, 1, -5, 1, 1)
+
+
+def test_cost_point_dominance():
+    fast = CostPoint(2, Fraction(3, 2))
+    slow = CostPoint(3, Fraction(3, 2))
+    assert fast.dominates(slow)
+    assert not slow.dominates(fast)
+    assert not fast.dominates(fast)
+
+
+def test_pareto_frontier_filters_dominated():
+    points = [
+        cost_point(2, 2, 1),        # (2, 2)
+        cost_point(3, 3, 2),        # (3, 1.5)
+        cost_point(7, 7, 6),        # (7, 7/6)
+        cost_point(7, 14, 6),       # (7, 7/3) dominated by (7, 7/6)
+        cost_point(8, 7, 6),        # (8, 7/6) dominated by (7, 7/6)
+    ]
+    frontier = pareto_frontier(points)
+    assert cost_point(7, 14, 6) not in frontier
+    assert cost_point(8, 7, 6) not in frontier
+    assert len(frontier) == 3
+
+
+def test_is_pareto_optimal_matches_paper_definition():
+    points = [cost_point(2, 2, 1), cost_point(3, 3, 2), cost_point(7, 7, 6)]
+    for p in points:
+        assert is_pareto_optimal(p, [q for q in points if q != p])
+    # Same latency, worse bandwidth: not Pareto-optimal.
+    assert not is_pareto_optimal(cost_point(2, 3, 1), points)
+
+
+def test_crossover_size():
+    latency_optimal = CostPoint(2, Fraction(2, 1))
+    bandwidth_optimal = CostPoint(7, Fraction(7, 6))
+    alpha, beta = 5e-6, 4e-11
+    size = crossover_size(latency_optimal, bandwidth_optimal, alpha, beta)
+    assert size is not None and size > 0
+    # Below the crossover the latency-optimal algorithm is cheaper, above it
+    # the bandwidth-optimal one is.
+    below, above = size * 0.5, size * 2
+    assert latency_optimal.evaluate(below, alpha, beta) < bandwidth_optimal.evaluate(below, alpha, beta)
+    assert latency_optimal.evaluate(above, alpha, beta) > bandwidth_optimal.evaluate(above, alpha, beta)
+
+
+def test_crossover_none_for_dominance():
+    a = CostPoint(2, Fraction(1))
+    b = CostPoint(3, Fraction(1))
+    assert crossover_size(a, b, 1e-6, 1e-9) is None
+
+
+def test_best_algorithm_for_size():
+    points = [CostPoint(2, Fraction(2)), CostPoint(7, Fraction(7, 6))]
+    assert best_algorithm_for_size(points, 1024, 5e-6, 4e-11) == 0
+    assert best_algorithm_for_size(points, 1 << 30, 5e-6, 4e-11) == 1
+    with pytest.raises(CostError):
+        best_algorithm_for_size([], 1, 1, 1)
+
+
+def test_speedup():
+    assert speedup(2.0, 1.0) == 2.0
+    with pytest.raises(CostError):
+        speedup(1.0, 0.0)
+
+
+@given(
+    steps=st.integers(1, 20),
+    rounds=st.integers(1, 40),
+    chunks=st.integers(1, 48),
+    size=st.floats(1, 1e9),
+)
+def test_cost_monotone_in_size(steps, rounds, chunks, size):
+    small = algorithm_cost(steps, rounds, chunks, size, 1e-6, 1e-10)
+    large = algorithm_cost(steps, rounds, chunks, size * 2, 1e-6, 1e-10)
+    assert large >= small
+
+
+@given(st.lists(st.tuples(st.integers(1, 10), st.integers(1, 20), st.integers(1, 10)), min_size=1, max_size=20))
+def test_pareto_frontier_is_non_dominated_and_complete(raw):
+    points = [cost_point(s, max(r, s), c) for (s, r, c) in raw]
+    frontier = pareto_frontier(points)
+    # No frontier point dominates another frontier point.
+    for a in frontier:
+        for b in frontier:
+            if a != b:
+                assert not a.dominates(b)
+    # Every input point is dominated by or equal to some frontier point.
+    for p in points:
+        assert any(f == p or f.dominates(p) or (f.latency <= p.latency and f.bandwidth <= p.bandwidth) for f in frontier)

@@ -1,0 +1,132 @@
+"""Tests for Pareto-Synthesize (Algorithm 1) on small topologies."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import ParetoError, candidate_set, pareto_synthesize
+from repro.solver import SolveResult
+from repro.topology import fully_connected, line, ring, star
+
+
+class TestCandidateSet:
+    def test_orders_by_bandwidth_cost(self):
+        candidates = candidate_set(steps=3, k=4, bandwidth_lower=Fraction(7, 6))
+        ratios = [Fraction(r, c) for (r, c) in candidates]
+        assert ratios == sorted(ratios)
+        # All candidates respect the bounds.
+        assert all(3 <= r <= 7 for (r, c) in candidates)
+        assert all(Fraction(r, c) >= Fraction(7, 6) for (r, c) in candidates)
+        # The bandwidth-optimal candidate (7, 6) comes first.
+        assert candidates[0] == (7, 6)
+
+    def test_k_zero_single_round_choice(self):
+        candidates = candidate_set(steps=2, k=0, bandwidth_lower=Fraction(7, 6))
+        assert candidates == [(2, 1)]
+
+    def test_max_chunks_cap(self):
+        candidates = candidate_set(steps=2, k=0, bandwidth_lower=Fraction(1, 6), max_chunks=3)
+        assert all(c <= 3 for (_, c) in candidates)
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ParetoError):
+            candidate_set(2, 0, Fraction(0))
+
+
+class TestRingAllgatherFrontier:
+    def test_frontier_on_ring4(self):
+        frontier = pareto_synthesize("Allgather", ring(4), k=0, max_steps=4)
+        assert frontier.latency_lower_bound == 2
+        assert frontier.bandwidth_lower_bound == Fraction(3, 2)
+        signatures = [p.signature for p in frontier.points]
+        # S=2: best k=0 candidate is (R=2, C=1); S=3: (3, 2) hits the 3/2 bound.
+        assert (1, 2, 2) in signatures
+        assert (2, 3, 3) in signatures
+        assert frontier.points[0].latency_optimal
+        assert frontier.points[-1].bandwidth_optimal
+        for point in frontier.points:
+            assert point.algorithm is not None
+            point.algorithm.verify()
+
+    def test_stops_at_bandwidth_optimal(self):
+        frontier = pareto_synthesize("Allgather", ring(4), k=0, max_steps=8)
+        assert frontier.points[-1].bandwidth_optimal
+        assert max(p.steps for p in frontier.points) == 3
+
+    def test_k_one_latency_point_improves_bandwidth(self):
+        frontier = pareto_synthesize("Allgather", ring(4), k=1, max_steps=3)
+        # With one extra round the 2-step algorithm reaches R/C = 3/2.
+        assert (2, 2, 3) in [p.signature for p in frontier.points]
+        assert frontier.points[0].bandwidth_optimal and frontier.points[0].latency_optimal
+
+    def test_table_rows_shape(self):
+        frontier = pareto_synthesize("Allgather", ring(4), k=0, max_steps=3)
+        rows = frontier.table_rows()
+        assert all({"collective", "C", "S", "R", "optimality", "time_s"} <= set(row) for row in rows)
+
+    def test_best_for_size_switches_algorithm(self):
+        frontier = pareto_synthesize("Allgather", ring(4), k=1, max_steps=4)
+        small = frontier.best_for_size(64, alpha=5e-6, beta=4e-11)
+        large = frontier.best_for_size(1 << 30, alpha=5e-6, beta=4e-11)
+        assert small.steps <= large.steps
+        assert large.bandwidth_cost <= small.bandwidth_cost
+
+
+class TestOtherCollectives:
+    def test_broadcast_on_star_is_immediately_optimal(self):
+        frontier = pareto_synthesize("Broadcast", star(5), k=0, max_steps=3)
+        assert frontier.points
+        first = frontier.points[0]
+        assert first.latency_optimal
+        assert first.steps == 1
+
+    def test_gather_frontier_on_line(self):
+        frontier = pareto_synthesize("Gather", line(3), k=0, max_steps=4)
+        assert frontier.points
+        for point in frontier.points:
+            point.algorithm.verify()
+
+    def test_alltoall_on_fully_connected(self):
+        frontier = pareto_synthesize("Alltoall", fully_connected(3), k=0, max_steps=3)
+        assert frontier.points
+        assert frontier.points[0].steps == 1
+
+
+class TestCombiningDelegation:
+    def test_reducescatter_frontier(self):
+        frontier = pareto_synthesize("Reducescatter", ring(4), k=0, max_steps=3)
+        assert frontier.collective == "Reducescatter"
+        assert frontier.points
+        for point in frontier.points:
+            assert point.algorithm.combining
+            point.algorithm.verify()
+
+    def test_allreduce_frontier_doubles_steps(self):
+        frontier = pareto_synthesize("Allreduce", ring(4), k=0, max_steps=3)
+        assert frontier.points
+        for point in frontier.points:
+            assert point.steps % 2 == 0
+            assert point.chunks_per_node % 4 == 0
+            point.algorithm.verify()
+        assert frontier.latency_lower_bound == 4
+
+    def test_reduce_frontier(self):
+        frontier = pareto_synthesize("Reduce", star(4), k=0, max_steps=2)
+        assert frontier.points
+        assert frontier.points[0].algorithm.collective == "Reduce"
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ParetoError):
+            pareto_synthesize("Allgather", ring(4), k=-1)
+
+
+class TestResourceLimits:
+    def test_unknown_results_recorded_not_fabricated(self):
+        frontier = pareto_synthesize(
+            "Allgather", ring(6), k=0, max_steps=5, conflict_limit=1
+        )
+        # With an absurd conflict limit some probes return UNKNOWN; any point
+        # reported must still be a genuine SAT with a verified algorithm.
+        for point in frontier.points:
+            assert point.status is SolveResult.SAT
+            point.algorithm.verify()

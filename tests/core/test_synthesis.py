@@ -1,0 +1,181 @@
+"""Tests for the SMT encoding and single-instance synthesis (small topologies).
+
+The DGX-1-scale instances are exercised by the benchmark harness; the unit
+tests here keep instances small enough (rings/lines/cliques of 3-6 nodes,
+plus the cheap DGX-1 latency-optimal points) to run in seconds.
+"""
+
+import pytest
+
+from repro.core import (
+    NaiveEncoding,
+    ScclEncoding,
+    make_instance,
+    synthesize,
+    synthesize_collective,
+)
+from repro.solver import SolveResult
+from repro.topology import dgx1, fully_connected, line, ring, star
+
+
+def assert_sat_and_valid(result):
+    assert result.is_sat, result.summary()
+    assert result.algorithm is not None
+    result.algorithm.verify()
+    return result.algorithm
+
+
+class TestRingAllgather:
+    def test_figure2_one_synchronous_instance(self):
+        # Figure 2: Allgather on a 4-ring with S=2, R=3 (1-synchronous).
+        result = synthesize(make_instance("Allgather", ring(4), 1, 2, 3))
+        algo = assert_sat_and_valid(result)
+        assert algo.signature() == (1, 2, 3)
+        assert algo.num_steps == 2
+        assert algo.total_rounds == 3
+
+    def test_zero_synchronous_instance(self):
+        result = synthesize(make_instance("Allgather", ring(4), 1, 2, 2))
+        assert_sat_and_valid(result)
+
+    def test_one_step_is_unsat_on_a_ring_of_four(self):
+        # Diameter 2: one step cannot reach the opposite node.
+        result = synthesize(make_instance("Allgather", ring(4), 1, 1, 1))
+        assert result.is_unsat
+        assert result.algorithm is None
+
+    def test_insufficient_rounds_unsat(self):
+        # With C=2 on a 6-ring each node must receive 10 chunks over an
+        # in-capacity of 2/round, so 4 rounds (at most 8 receptions) cannot
+        # suffice even though the latency bound (diameter 3) is met.
+        result = synthesize(make_instance("Allgather", ring(6), 2, 4, 4))
+        assert result.is_unsat
+
+    def test_ring6_allgather_bandwidth_optimal(self):
+        # 5 peers / 2 incoming links -> R/C = 5/2; C=2, R=5, S=5 is feasible.
+        result = synthesize(make_instance("Allgather", ring(6), 2, 5, 5))
+        algo = assert_sat_and_valid(result)
+        assert algo.bandwidth_cost == pytest.approx(2.5)
+
+
+class TestOtherCollectives:
+    def test_broadcast_on_star(self):
+        result = synthesize_collective("Broadcast", star(5), 1, 1, 1, root=0)
+        algo = assert_sat_and_valid(result)
+        assert algo.num_steps == 1
+
+    def test_broadcast_from_leaf_of_line(self):
+        result = synthesize_collective("Broadcast", line(4), 1, 3, 3, root=0)
+        assert_sat_and_valid(result)
+
+    def test_broadcast_too_few_steps_unsat(self):
+        result = synthesize_collective("Broadcast", line(4), 1, 2, 2, root=0)
+        assert result.is_unsat
+
+    def test_gather_on_ring(self):
+        result = synthesize_collective("Gather", ring(4), 1, 2, 3, root=0)
+        algo = assert_sat_and_valid(result)
+        # Root ends with every chunk.
+        final = algo.run()[-1]
+        assert all((c, 0) in final for c in range(4))
+
+    def test_scatter_on_ring(self):
+        result = synthesize_collective("Scatter", ring(4), 1, 2, 3, root=0)
+        assert_sat_and_valid(result)
+
+    def test_alltoall_on_fully_connected(self):
+        result = synthesize_collective("Alltoall", fully_connected(4), 4, 1, 1)
+        algo = assert_sat_and_valid(result)
+        assert algo.num_steps == 1
+
+    def test_alltoall_on_ring(self):
+        result = synthesize_collective("Alltoall", ring(4), 4, 2, 4)
+        assert_sat_and_valid(result)
+
+
+class TestDgx1CheapPoints:
+    def test_latency_optimal_allgather(self):
+        # Table 4 row (1, 2, 2): the novel 2-step latency-optimal Allgather.
+        result = synthesize(make_instance("Allgather", dgx1(), 1, 2, 2))
+        algo = assert_sat_and_valid(result)
+        assert algo.num_steps == 2
+        assert algo.bandwidth_cost == 2
+
+    def test_latency_optimal_with_better_bandwidth(self):
+        # Table 4 row (2, 2, 3): 2 steps, bandwidth cost 3/2 (Section 2.5).
+        result = synthesize(make_instance("Allgather", dgx1(), 2, 2, 3))
+        algo = assert_sat_and_valid(result)
+        assert float(algo.bandwidth_cost) == pytest.approx(1.5)
+
+    def test_one_step_allgather_unsat_on_dgx1(self):
+        result = synthesize(make_instance("Allgather", dgx1(), 1, 1, 1))
+        assert result.is_unsat
+
+
+class TestEncodingMechanics:
+    def test_statistics_populated(self):
+        encoder = ScclEncoding(make_instance("Allgather", ring(4), 1, 2, 2))
+        encoder.encode()
+        stats = encoder.stats.as_dict()
+        assert stats["variables"] > 0
+        assert stats["clauses"] > 0
+        assert stats["send_vars"] > 0
+
+    def test_pruning_reduces_send_variables(self):
+        instance = make_instance("Gather", line(5), 1, 4, 4, root=0)
+        pruned = ScclEncoding(instance, prune=True)
+        pruned.encode()
+        unpruned = ScclEncoding(instance, prune=False)
+        unpruned.encode()
+        assert pruned.stats.send_vars < unpruned.stats.send_vars
+
+    def test_decode_before_encode_rejected(self):
+        encoder = ScclEncoding(make_instance("Allgather", ring(4), 1, 2, 2))
+        with pytest.raises(Exception):
+            encoder.decode({})
+
+    def test_unpruned_encoding_agrees(self):
+        instance = make_instance("Allgather", ring(4), 1, 2, 2)
+        assert synthesize(instance, prune=False).is_sat
+        assert synthesize(instance, prune=True).is_sat
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize(make_instance("Allgather", ring(4), 1, 2, 2), encoding="magic")
+
+    def test_resource_limit_gives_unknown_or_answer(self):
+        result = synthesize(
+            make_instance("Allgather", ring(6), 2, 5, 5), conflict_limit=1
+        )
+        assert result.status in (SolveResult.SAT, SolveResult.UNSAT, SolveResult.UNKNOWN)
+
+
+class TestNaiveEncodingAblation:
+    """The Section 5.4.3 ablation encoding must agree with the main encoding."""
+
+    @pytest.mark.parametrize(
+        "collective,topo,chunks,steps,rounds,expected_sat",
+        [
+            ("Allgather", ring(4), 1, 2, 3, True),
+            ("Allgather", ring(4), 1, 1, 1, False),
+            ("Broadcast", star(5), 1, 1, 1, True),
+            ("Gather", ring(4), 1, 2, 3, True),
+            ("Broadcast", line(4), 1, 2, 2, False),
+        ],
+    )
+    def test_agreement_with_sccl_encoding(self, collective, topo, chunks, steps, rounds, expected_sat):
+        instance = make_instance(collective, topo, chunks, steps, rounds, root=0)
+        naive = synthesize(instance, encoding="naive")
+        sccl = synthesize(instance, encoding="sccl")
+        assert naive.is_sat == sccl.is_sat == expected_sat
+        if expected_sat:
+            naive.algorithm.verify()
+            sccl.algorithm.verify()
+
+    def test_naive_encoding_is_larger(self):
+        instance = make_instance("Allgather", ring(6), 1, 3, 3)
+        naive = NaiveEncoding(instance)
+        naive.encode()
+        sccl = ScclEncoding(instance)
+        sccl.encode()
+        assert naive.stats.variables > sccl.stats.variables

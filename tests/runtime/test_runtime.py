@@ -1,0 +1,190 @@
+"""Tests for lowering, execution, simulation and code generation."""
+
+import pytest
+
+from repro.baselines import nccl_allgather, nccl_allreduce, ring_allgather, single_ring
+from repro.core import make_instance, synthesize
+from repro.runtime import (
+    ExecutionError,
+    Instruction,
+    LoweringError,
+    OpCode,
+    Program,
+    ProgramError,
+    Simulator,
+    execute,
+    generate_cuda_like_source,
+    lower,
+    lower_all_protocols,
+    simulate,
+    write_source,
+)
+from repro.topology import dgx1, ring
+
+
+@pytest.fixture(scope="module")
+def ring4_allgather():
+    result = synthesize(make_instance("Allgather", ring(4), 1, 2, 3))
+    assert result.is_sat
+    return result.algorithm
+
+
+@pytest.fixture(scope="module")
+def ring4_topology():
+    return ring(4)
+
+
+class TestLowering:
+    def test_lower_produces_matched_program(self, ring4_allgather):
+        program = lower(ring4_allgather)
+        program.validate()
+        assert program.num_ranks == 4
+        assert program.num_steps == ring4_allgather.num_steps
+        # Every send has a matching receive.
+        sends = sum(len(r.sends()) for r in program.ranks)
+        recvs = sum(len(r.receives()) for r in program.ranks)
+        assert sends == recvs == ring4_allgather.total_sends
+
+    def test_multi_kernel_inserts_barriers(self, ring4_allgather):
+        program = lower(ring4_allgather, protocol="multi_kernel_push")
+        barriers = [
+            i for r in program.ranks for i in r.instructions if i.op is OpCode.BARRIER
+        ]
+        assert len(barriers) == ring4_allgather.num_steps * program.num_ranks
+
+    def test_unknown_protocol_rejected(self, ring4_allgather):
+        with pytest.raises(LoweringError):
+            lower(ring4_allgather, protocol="carrier_pigeon")
+
+    def test_lower_all_protocols(self, ring4_allgather):
+        programs = lower_all_protocols(ring4_allgather)
+        assert set(programs) == {"single_kernel_push", "multi_kernel_push", "multi_kernel_memcpy"}
+
+    def test_reduce_sends_become_recv_reduce(self):
+        topo = ring(4)
+        allgather = ring_allgather(topo, single_ring(topo))
+        from repro.core import invert_algorithm
+
+        program = lower(invert_algorithm(allgather))
+        reduce_recvs = [
+            i for r in program.ranks for i in r.instructions if i.op is OpCode.RECV_REDUCE
+        ]
+        assert reduce_recvs
+
+    def test_program_validation_catches_unmatched_pairs(self):
+        program = Program(name="bad", collective="X", num_ranks=2, num_chunks=1, chunks_per_node=1)
+        program.rank(0).append(Instruction(op=OpCode.SEND, chunk=0, peer=1, step=0))
+        with pytest.raises(ProgramError):
+            program.validate()
+
+
+class TestExecution:
+    def test_synthesized_allgather_executes_correctly(self, ring4_allgather):
+        program = lower(ring4_allgather)
+        result = execute(program, ring4_allgather)
+        assert result.transfers == ring4_allgather.total_sends
+        assert result.steps_executed == ring4_allgather.num_steps
+
+    def test_nccl_allgather_executes_correctly(self):
+        algorithm = nccl_allgather()
+        result = execute(lower(algorithm), algorithm)
+        # 8 ranks x 6 rings x 7 steps sends.
+        assert result.transfers == 336
+
+    def test_nccl_allreduce_reduces_and_broadcasts(self):
+        algorithm = nccl_allreduce()
+        result = execute(lower(algorithm), algorithm)
+        assert result.reduced_transfers == 336
+        assert result.transfers == 672
+
+    def test_corrupted_program_detected(self, ring4_allgather):
+        program = lower(ring4_allgather)
+        # Drop every instruction of rank 0: its sends never happen, so some
+        # postcondition chunk is missing at the end.
+        program.ranks[0].instructions = []
+        with pytest.raises(ExecutionError):
+            execute(program, ring4_allgather)
+
+
+class TestSimulator:
+    def test_larger_inputs_take_longer(self, ring4_allgather, ring4_topology):
+        simulator = Simulator(ring4_topology)
+        small = simulator.simulate_algorithm(ring4_allgather, 1 << 10)
+        large = simulator.simulate_algorithm(ring4_allgather, 1 << 24)
+        assert large.total_time_s > small.total_time_s
+
+    def test_step_count_matches(self, ring4_allgather, ring4_topology):
+        result = Simulator(ring4_topology).simulate_algorithm(ring4_allgather, 1 << 16)
+        assert result.num_steps == ring4_allgather.num_steps
+        assert result.algorithmic_bandwidth() > 0
+
+    def test_latency_vs_bandwidth_crossover_on_dgx1(self):
+        # The 2-step latency-optimal Allgather beats NCCL's 7-step ring at
+        # small sizes; the ring wins (or ties) at very large sizes.
+        topo = dgx1()
+        latency_optimal = synthesize(make_instance("Allgather", topo, 1, 2, 2)).algorithm
+        baseline = nccl_allgather(topo)
+        simulator = Simulator(topo)
+        small_lat = simulator.simulate_algorithm(latency_optimal, 1 << 10).total_time_s
+        small_ring = simulator.simulate_algorithm(baseline, 1 << 10).total_time_s
+        big_lat = simulator.simulate_algorithm(latency_optimal, 1 << 28).total_time_s
+        big_ring = simulator.simulate_algorithm(baseline, 1 << 28).total_time_s
+        assert small_lat < small_ring
+        assert big_ring < big_lat
+
+    def test_memcpy_protocol_helps_only_large_buffers(self):
+        topo = dgx1()
+        algorithm = nccl_allgather(topo)
+        simulator = Simulator(topo)
+        push_small = simulator.simulate_algorithm(algorithm, 1 << 10, protocol="single_kernel_push")
+        memcpy_small = simulator.simulate_algorithm(algorithm, 1 << 10, protocol="multi_kernel_memcpy")
+        push_big = simulator.simulate_algorithm(algorithm, 1 << 28, protocol="single_kernel_push")
+        memcpy_big = simulator.simulate_algorithm(algorithm, 1 << 28, protocol="multi_kernel_memcpy")
+        assert memcpy_small.total_time_s > push_small.total_time_s
+        assert memcpy_big.total_time_s < push_big.total_time_s
+
+    def test_unknown_protocol_rejected(self, ring4_allgather, ring4_topology):
+        program = lower(ring4_allgather)
+        program.protocol = "quantum"
+        with pytest.raises(Exception):
+            Simulator(ring4_topology).simulate(program, 1024)
+
+    def test_module_level_simulate_wrapper(self, ring4_allgather, ring4_topology):
+        direct = simulate(ring4_allgather, ring4_topology, 1 << 16)
+        via_program = simulate(lower(ring4_allgather), ring4_topology, 1 << 16)
+        assert direct.total_time_s == pytest.approx(via_program.total_time_s)
+
+
+class TestCodegen:
+    def test_source_structure(self, ring4_allgather):
+        program = lower(ring4_allgather)
+        source = generate_cuda_like_source(program)
+        # One case per rank under a rank switch.
+        assert "switch (rank)" in source
+        for rank in range(4):
+            assert f"case {rank}:" in source
+        # Push copies with threadfence-before-flag signalling.
+        assert "push_chunk" in source
+        assert "__threadfence" in source
+        assert "wait(" in source
+
+    def test_memcpy_protocol_emits_cudamemcpy(self, ring4_allgather):
+        program = lower(ring4_allgather, protocol="multi_kernel_memcpy")
+        source = generate_cuda_like_source(program)
+        assert "cudaMemcpyAsync" in source
+        assert "for (int step = 0" in source
+
+    def test_reduce_emits_accumulation(self):
+        topo = ring(4)
+        from repro.core import invert_algorithm
+
+        allgather = ring_allgather(topo, single_ring(topo))
+        program = lower(invert_algorithm(allgather))
+        source = generate_cuda_like_source(program)
+        assert "push_chunk_reduce" in source
+
+    def test_write_source(self, ring4_allgather, tmp_path):
+        program = lower(ring4_allgather)
+        path = tmp_path / "kernel.cu"
+        text = write_source(program, str(path))
+        assert path.read_text() == text

@@ -1,0 +1,94 @@
+"""Unit tests for the CNF container and DIMACS serialization."""
+
+import pytest
+
+from repro.solver import CNF, CNFError
+from repro.solver.cnf import lit_neg, lit_sign, lit_var
+
+
+def test_new_var_sequence():
+    cnf = CNF()
+    assert cnf.new_var() == 1
+    assert cnf.new_var() == 2
+    assert cnf.new_vars(3) == [3, 4, 5]
+    assert cnf.num_vars == 5
+
+
+def test_add_clause_tracks_variables():
+    cnf = CNF()
+    cnf.add_clause([1, -7, 3])
+    assert cnf.num_vars == 7
+    assert cnf.num_clauses == 1
+
+
+def test_zero_literal_rejected():
+    cnf = CNF()
+    with pytest.raises(CNFError):
+        cnf.add_clause([1, 0, 2])
+
+
+def test_tautology_dropped_and_duplicates_removed():
+    cnf = CNF()
+    cnf.add_clause([1, -1, 2])
+    assert cnf.num_clauses == 0
+    cnf.add_clause([3, 3, 4])
+    assert cnf.clauses[0] == [3, 4]
+
+
+def test_negative_var_allocation_rejected():
+    cnf = CNF()
+    with pytest.raises(CNFError):
+        cnf.new_vars(-1)
+
+
+def test_literal_helpers():
+    assert lit_var(-5) == 5
+    assert lit_var(5) == 5
+    assert lit_sign(5) is True
+    assert lit_sign(-5) is False
+    assert lit_neg(5) == -5
+
+
+def test_dimacs_roundtrip():
+    cnf = CNF()
+    cnf.add_clause([1, 2, -3])
+    cnf.add_clause([-1, 3])
+    cnf.add_clause([2])
+    text = cnf.to_dimacs()
+    assert text.startswith("p cnf 3 3")
+    parsed = CNF.from_dimacs(text)
+    assert parsed.num_vars == 3
+    assert parsed.clauses == cnf.clauses
+
+
+def test_dimacs_parse_with_comments_and_blank_lines():
+    text = """c an example
+c with comments
+
+p cnf 4 2
+1 -2 0
+3 4 -1 0
+"""
+    cnf = CNF.from_dimacs(text)
+    assert cnf.num_vars == 4
+    assert cnf.num_clauses == 2
+
+
+def test_dimacs_unterminated_clause_raises():
+    with pytest.raises(CNFError):
+        CNF.from_dimacs("p cnf 2 1\n1 2\n")
+
+
+def test_stats():
+    cnf = CNF()
+    cnf.add_clause([1, 2])
+    cnf.add_clause([-1, 2, 3])
+    stats = cnf.stats()
+    assert stats == {"variables": 3, "clauses": 2, "literals": 5}
+
+
+def test_extend_and_iteration():
+    cnf = CNF()
+    cnf.extend([[1, 2], [-2, 3]])
+    assert len(cnf) == 2
+    assert list(cnf) == [[1, 2], [-2, 3]]

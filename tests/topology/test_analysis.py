@@ -1,0 +1,123 @@
+"""Tests for topology analysis: distances, diameter, capacities, bisection."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology import (
+    TopologyError,
+    Topology,
+    cut_capacity,
+    diameter,
+    distance,
+    fully_connected,
+    hypercube,
+    inverse_bisection_bandwidth,
+    is_strongly_connected,
+    latency_lower_bound,
+    line,
+    link_utilization,
+    min_node_in_capacity,
+    node_in_capacity,
+    ring,
+    shortest_path_lengths,
+    star,
+    to_networkx,
+)
+
+
+def test_shortest_paths_on_line():
+    topo = line(4)
+    dist = shortest_path_lengths(topo)
+    assert dist[0][3] == 3
+    assert dist[3][0] == 3
+    assert dist[1][2] == 1
+
+
+def test_distance_helper():
+    assert distance(ring(6), 0, 3) == 3
+    assert distance(ring(6), 0, 5) == 1
+
+
+def test_unreachable_distance_is_none():
+    topo = Topology(name="t", num_nodes=3)
+    topo.add_link(0, 1)
+    assert distance(topo, 1, 0) is None
+    assert not is_strongly_connected(topo)
+
+
+def test_diameter_values():
+    assert diameter(fully_connected(5)) == 1
+    assert diameter(ring(8)) == 4
+    assert diameter(hypercube(4)) == 4
+    assert diameter(star(6)) == 2
+
+
+def test_diameter_requires_strong_connectivity():
+    topo = Topology(name="t", num_nodes=2)
+    topo.add_link(0, 1)
+    with pytest.raises(TopologyError):
+        diameter(topo)
+
+
+def test_node_capacities():
+    topo = ring(4, bandwidth=3)
+    assert node_in_capacity(topo, 0) == 6
+    assert min_node_in_capacity(topo) == 6
+
+
+def test_cut_capacity():
+    topo = ring(4)
+    # Cutting {0, 1} from {2, 3}: links 3->0 and 2->1 enter the part.
+    assert cut_capacity(topo, {0, 1}) == 2
+
+
+def test_inverse_bisection_bandwidth_ring():
+    # Ring of 8, capacity 2 in per node: (8-1)/2.
+    assert inverse_bisection_bandwidth(ring(8)) == Fraction(7, 2)
+
+
+def test_inverse_bisection_bandwidth_zero_capacity():
+    topo = Topology(name="t", num_nodes=2)
+    topo.add_link(0, 1)
+    with pytest.raises(TopologyError):
+        inverse_bisection_bandwidth(topo)
+
+
+def test_latency_lower_bound_equals_diameter():
+    assert latency_lower_bound(ring(6)) == 3
+
+
+def test_link_utilization():
+    topo = ring(4)
+    util = link_utilization(topo, {(0, 1): 1})
+    assert util[(0, 1)] == 1.0
+    with pytest.raises(TopologyError):
+        link_utilization(topo, {(0, 2): 1})
+
+
+def test_networkx_export():
+    graph = to_networkx(ring(5, bandwidth=2))
+    assert graph.number_of_nodes() == 5
+    assert graph.number_of_edges() == 10
+    assert graph[0][1]["capacity"] == 2
+
+
+@given(n=st.integers(2, 9))
+def test_ring_diameter_formula(n):
+    assert diameter(ring(n)) == n // 2
+
+
+@given(n=st.integers(2, 16))
+def test_fully_connected_bisection(n):
+    topo = fully_connected(n)
+    # Each node can receive from n-1 peers.
+    assert min_node_in_capacity(topo) == n - 1
+
+
+@given(dims=st.integers(1, 4))
+def test_hypercube_properties(dims):
+    topo = hypercube(dims)
+    assert diameter(topo) == dims
+    assert min_node_in_capacity(topo) == dims

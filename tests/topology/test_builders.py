@@ -1,0 +1,99 @@
+"""Tests for the synthetic topology constructors."""
+
+import pytest
+
+from repro.topology import (
+    TopologyError,
+    diameter,
+    fully_connected,
+    from_edge_list,
+    hypercube,
+    is_strongly_connected,
+    line,
+    ring,
+    shared_bus,
+    star,
+    torus_2d,
+)
+
+
+def test_ring_structure():
+    topo = ring(5)
+    assert topo.num_nodes == 5
+    for node in range(5):
+        assert topo.has_link(node, (node + 1) % 5)
+        assert topo.has_link((node + 1) % 5, node)
+    assert diameter(topo) == 2
+
+
+def test_unidirectional_ring():
+    topo = ring(4, bidirectional=False)
+    assert topo.has_link(0, 1)
+    assert not topo.has_link(1, 0)
+    assert diameter(topo) == 3
+
+
+def test_ring_too_small():
+    with pytest.raises(TopologyError):
+        ring(1)
+
+
+def test_line_structure():
+    topo = line(4)
+    assert topo.has_link(0, 1) and topo.has_link(1, 0)
+    assert not topo.has_link(0, 3)
+    assert diameter(topo) == 3
+
+
+def test_star_structure():
+    topo = star(5)
+    assert all(topo.has_link(0, n) and topo.has_link(n, 0) for n in range(1, 5))
+    assert not topo.has_link(1, 2)
+    assert diameter(topo) == 2
+
+
+def test_star_center_out_of_range():
+    with pytest.raises(TopologyError):
+        star(4, center=9)
+
+
+def test_fully_connected():
+    topo = fully_connected(4)
+    assert len(topo.links()) == 12
+    assert diameter(topo) == 1
+
+
+def test_hypercube():
+    topo = hypercube(3)
+    assert topo.num_nodes == 8
+    assert diameter(topo) == 3
+    # Every node has degree = dimensions.
+    assert all(topo.degree(n) == 3 for n in range(8))
+
+
+def test_torus():
+    topo = torus_2d(3, 3)
+    assert topo.num_nodes == 9
+    assert is_strongly_connected(topo)
+    assert all(topo.degree(n) == 4 for n in range(9))
+
+
+def test_torus_too_small():
+    with pytest.raises(TopologyError):
+        torus_2d(1, 5)
+
+
+def test_shared_bus_capacity():
+    topo = shared_bus(4, bandwidth=1)
+    # Individual links exist but the shared constraint caps everything at 1.
+    shared = [c for c in topo.constraints if len(c.links) > 1]
+    assert len(shared) == 1
+    assert shared[0].bandwidth == 1
+    assert len(shared[0].links) == 12
+
+
+def test_from_edge_list():
+    topo = from_edge_list(3, [(0, 1, 2), (1, 2, 1), (2, 0, 1)], name="tri")
+    assert topo.name == "tri"
+    assert topo.bandwidth_between(0, 1) == 2
+    assert is_strongly_connected(topo)
