@@ -10,6 +10,7 @@ import pytest
 
 from conftest import report
 from repro.core import ScclEncoding, make_instance, synthesize
+from repro.engine import IncrementalDispatcher, SerialDispatcher, SweepRequest
 from repro.solver import CNF, SATSolver, SolveResult
 from repro.topology import dgx1, ring
 
@@ -77,3 +78,41 @@ def test_synthesis_cheap_dgx1_rows(benchmark, chunks, steps, rounds):
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.is_sat
+
+
+# The exhaustive fixed-S candidate sweep used by the incremental-vs-cold
+# ablation: every (R, C) for S=2, k=2 on the DGX-1 capped at C<=2, probed to
+# completion (no early stop) so both strategies do the same logical work.
+ABLATION_SWEEP = SweepRequest(
+    collective="Allgather",
+    topology=dgx1(),
+    steps=2,
+    candidates=((3, 2), (2, 1), (4, 2), (3, 1), (4, 1)),
+    stop_at_first_sat=False,
+)
+
+
+def test_incremental_vs_cold_sweep(benchmark):
+    """Ablation: assumption-based incremental probing vs. cold re-encoding.
+
+    The serial baseline encodes once per candidate; the incremental
+    dispatcher encodes once per distinct chunk count and probes rounds
+    budgets through selector assumptions on a persistent solver.
+    """
+    cold = SerialDispatcher().sweep(ABLATION_SWEEP)
+
+    incremental = benchmark.pedantic(
+        lambda: IncrementalDispatcher().sweep(ABLATION_SWEEP), rounds=1, iterations=1
+    )
+
+    assert [r.status for r in incremental.results] == [r.status for r in cold.results]
+    assert incremental.stats.encode_calls < cold.stats.encode_calls
+    cold_time = sum(r.total_time for r in cold.results)
+    incr_time = sum(r.total_time for r in incremental.results)
+    report(
+        "Incremental vs cold candidate sweep (DGX-1 Allgather S=2, 5 candidates)",
+        f"cold:        {cold.stats.encode_calls} encodes, "
+        f"{cold.stats.solver_calls} solver calls, {cold_time:.2f}s\n"
+        f"incremental: {incremental.stats.encode_calls} encodes, "
+        f"{incremental.stats.solver_calls} solver calls, {incr_time:.2f}s",
+    )

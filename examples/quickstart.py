@@ -5,21 +5,34 @@ This walks the full SCCL pipeline on the paper's running example of Figure 2
 — Allgather on a 4-node ring — entirely on a laptop:
 
 1. build the topology and the SynColl instance,
-2. synthesize a 1-synchronous algorithm with the SMT encoding,
+2. synthesize a 1-synchronous algorithm with the SMT encoding (consulting
+   the persistent algorithm cache: a warm run performs zero solver calls),
 3. verify it against the run semantics,
 4. lower it to a per-rank program and execute it on numpy buffers,
 5. estimate its wall-clock time with the alpha-beta simulator, and
 6. emit the CUDA-like source the real SCCL tool would generate.
 
 Run:  python examples/quickstart.py
+
+The cache lives in $REPRO_CACHE_DIR (default ~/.cache/repro-sccl); delete
+the directory or pass --no-cache to force a fresh solve.
 """
 
+import argparse
+
 from repro.core import make_instance, synthesize
+from repro.engine import default_cache
 from repro.runtime import Simulator, execute, generate_cuda_like_source, lower
 from repro.topology import ring
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--no-cache", action="store_true",
+                        help="solve from scratch instead of consulting the algorithm cache")
+    args = parser.parse_args()
+    cache = None if args.no_cache else default_cache()
+
     # 1. The topology of Figure 2: four nodes on a bidirectional ring.
     topology = ring(4)
     print(topology.describe())
@@ -28,10 +41,11 @@ def main() -> None:
     # 2. The SynColl instance: Allgather, 1 chunk per node, S=2 steps, R=3 rounds.
     instance = make_instance("Allgather", topology, chunks_per_node=1, steps=2, rounds=3)
     print(f"Synthesizing {instance.describe()} ...")
-    result = synthesize(instance)
-    print(f"  -> {result.status.value} in {result.total_time:.2f}s "
-          f"({result.encoding_stats['variables']} vars, "
-          f"{result.encoding_stats['clauses']} clauses)")
+    result = synthesize(instance, cache=cache)
+    print(f"  -> {result.summary()}")
+    if not result.cache_hit:
+        print(f"     ({result.encoding_stats['variables']} vars, "
+              f"{result.encoding_stats['clauses']} clauses)")
     algorithm = result.algorithm
     print()
     print(algorithm.describe())

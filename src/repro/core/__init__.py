@@ -12,6 +12,12 @@ Public surface:
   :func:`~repro.core.combining.synthesize_reducescatter`
 * :class:`~repro.core.algorithm.Algorithm` and the cost-model helpers in
   :mod:`repro.core.cost` / :mod:`repro.core.bounds`.
+
+Solving is carried out by the engine layer (:mod:`repro.engine`): both
+:func:`synthesize` and :func:`pareto_synthesize` accept a solver ``backend``
+name and an :class:`~repro.engine.cache.AlgorithmCache`, and Algorithm 1
+runs its candidate sweeps through a pluggable dispatch strategy
+(serial / incremental / parallel).
 """
 
 from .algorithm import Algorithm, AlgorithmError, Send, Step

@@ -110,11 +110,33 @@ class EncodingStats:
 
 
 class ScclEncoding:
-    """The paper's time/send split encoding of a SynColl instance."""
+    """The paper's time/send split encoding of a SynColl instance.
 
-    def __init__(self, instance: SynCollInstance, prune: bool = True) -> None:
+    With ``rounds_budget`` set (to some ``R_max >= instance.rounds``) the
+    encoding becomes *rounds-incremental*: the per-step round variables are
+    given the widened domain ``1 .. R_max - (S - 1)``, the hard total-rounds
+    constraint C6 is replaced by a pair of unary counters over the round
+    variables' order-encoding Booleans, and :meth:`rounds_assumptions`
+    returns assumption literals pinning the total to any ``R`` in
+    ``S .. R_max``.  One encoding (and one solver, via
+    :class:`repro.engine.session.IncrementalSession`) then serves every
+    rounds candidate of a fixed-``S`` sweep.
+    """
+
+    def __init__(
+        self,
+        instance: SynCollInstance,
+        prune: bool = True,
+        rounds_budget: Optional[int] = None,
+    ) -> None:
+        if rounds_budget is not None and rounds_budget < instance.rounds:
+            raise EncodingError(
+                f"rounds budget {rounds_budget} is below the instance rounds "
+                f"{instance.rounds}"
+            )
         self.instance = instance
         self.prune = prune
+        self.rounds_budget = rounds_budget
         self.ctx = SmtLite(name=f"sccl_{instance.collective}")
         # Variable maps populated by encode().
         self.time_vars: Dict[Tuple[int, int], IntVar] = {}
@@ -122,6 +144,12 @@ class ScclEncoding:
         self.round_vars: List[IntVar] = []
         self.stats = EncodingStats()
         self._encoded = False
+        # Unary counters for the rounds-budget selector layer:
+        # _count_ge[j] is true when at least j+1 round-encoding Booleans are
+        # true, _false_ge[j] when at least j+1 are false.
+        self._round_bools: List[int] = []
+        self._count_ge: List[int] = []
+        self._false_ge: List[int] = []
 
     # ------------------------------------------------------------------
     # Encoding
@@ -165,11 +193,13 @@ class ScclEncoding:
         # --- r[s] round variables ---------------------------------------------------
         # Rounds are per-step; each step performs at least one round (steps
         # that send nothing are never useful because Algorithm 1 enumerates
-        # S from its lower bound upward).
-        min_rounds = 1 if R >= S else 0
+        # S from its lower bound upward).  Under a rounds budget the domain
+        # is widened to the budget so the same variables serve every R.
+        budget = self.rounds_budget if self.rounds_budget is not None else R
+        min_rounds = 1 if budget >= S else 0
         for s in range(S):
             self.round_vars.append(
-                ctx.new_int(min_rounds, R - (S - 1) * min_rounds, name=f"rounds_{s}")
+                ctx.new_int(min_rounds, budget - (S - 1) * min_rounds, name=f"rounds_{s}")
             )
 
         # --- C1/C2: pre- and post-conditions ----------------------------------------
@@ -267,9 +297,12 @@ class ScclEncoding:
                         ctx.add_clause([-outputs[threshold - 1], r_s.ge_lit(j + 1)])
 
         # --- C6: total rounds -----------------------------------------------------------
-        from ..solver.intvar import unary_sum_equals
+        if self.rounds_budget is None:
+            from ..solver.intvar import unary_sum_equals
 
-        unary_sum_equals(ctx.cnf, self.round_vars, R)
+            unary_sum_equals(ctx.cnf, self.round_vars, R)
+        else:
+            self._build_rounds_selector()
 
         cnf_stats = ctx.stats()
         self.stats.variables = cnf_stats["variables"]
@@ -278,6 +311,58 @@ class ScclEncoding:
         self.stats.time_vars = len(self.time_vars)
         self._encoded = True
         return ctx
+
+    # ------------------------------------------------------------------
+    # Rounds-budget selector layer
+    # ------------------------------------------------------------------
+    def _build_rounds_selector(self) -> None:
+        """Unary counters that let assumptions pin the total round count.
+
+        Each round variable contributes ``value - lo`` true Booleans in its
+        order encoding, so ``total_rounds = sum(lo) + count_true``.  The
+        project totalizer only encodes the "count >= j implies output"
+        direction, which supports *upper* bounds by assuming an output
+        false; the matching *lower* bound comes from a second totalizer
+        over the negated Booleans (count_false <= n - q iff count_true >= q).
+        """
+        bools: List[int] = []
+        for rv in self.round_vars:
+            bools.extend(rv.booleans())
+        self._round_bools = bools
+        if bools:
+            self._count_ge = self.ctx.totalizer(bools)
+            self._false_ge = self.ctx.totalizer([-lit for lit in bools])
+
+    def rounds_assumptions(self, rounds: int) -> List[int]:
+        """Assumption literals forcing ``total_rounds == rounds``.
+
+        Only available when the encoding was built with a ``rounds_budget``;
+        ``rounds`` must lie within ``S .. rounds_budget``.
+        """
+        if self.rounds_budget is None:
+            raise EncodingError("rounds_assumptions requires a rounds_budget encoding")
+        if not self._encoded:
+            raise EncodingError("encode() must be called before rounds_assumptions()")
+        S = self.instance.steps
+        if not S <= rounds <= self.rounds_budget:
+            raise EncodingError(
+                f"rounds {rounds} outside the encoded budget [{S}, {self.rounds_budget}]"
+            )
+        offset = sum(rv.lo for rv in self.round_vars)
+        target = rounds - offset  # Booleans that must be true
+        n = len(self._round_bools)
+        if target < 0 or target > n:
+            raise EncodingError(
+                f"rounds {rounds} unreachable with {n} round Booleans (offset {offset})"
+            )
+        assumptions: List[int] = []
+        # count_true <= target: at least target+1 true is forbidden.
+        if target < len(self._count_ge):
+            assumptions.append(-self._count_ge[target])
+        # count_true >= target, i.e. count_false <= n - target.
+        if n - target < len(self._false_ge):
+            assumptions.append(-self._false_ge[n - target])
+        return assumptions
 
     def _send_useful(
         self,
@@ -332,10 +417,11 @@ class ScclEncoding:
             )))
             for s in range(S)
         ]
+        total_rounds = sum(rounds)  # equals instance.rounds unless budget-encoded
         algorithm = Algorithm(
             name=name
             or f"{instance.collective.lower()}_{instance.topology.name}_c{instance.chunks_per_node}"
-            f"_s{S}_r{instance.rounds}",
+            f"_s{S}_r{total_rounds}",
             collective=instance.collective,
             topology=instance.topology,
             chunks_per_node=instance.chunks_per_node,

@@ -28,9 +28,8 @@ from ..topology import Topology
 from .algorithm import Algorithm
 from .bounds import lower_bounds
 from .combining import allreduce_from_allgather, invert_algorithm
-from .cost import CostPoint, cost_point, is_pareto_optimal
-from .instance import make_instance
-from .synthesizer import SynthesisResult, synthesize
+from .cost import cost_point, is_pareto_optimal
+from .synthesizer import SynthesisResult
 
 
 class ParetoError(Exception):
@@ -53,6 +52,8 @@ class ParetoPoint:
     pareto_optimal: bool = False
     proved: bool = True  # False when resource limits made lower candidates UNKNOWN
     unsat_probes: int = 0
+    backend: str = "cdcl"    # solver backend that produced the algorithm
+    cache_hit: bool = False  # True when replayed from the algorithm cache
 
     @property
     def bandwidth_cost(self) -> Fraction:
@@ -72,6 +73,30 @@ class ParetoPoint:
             return "Both"
         return labels[0] if labels else ""
 
+    def provenance_label(self) -> str:
+        """``"cached"`` for replayed rows, the backend name for solved ones."""
+        return "cached" if self.cache_hit else self.backend
+
+    def to_dict(self, include_timing: bool = True) -> dict:
+        data = {
+            "collective": self.collective,
+            "C": self.chunks_per_node,
+            "S": self.steps,
+            "R": self.rounds,
+            "status": self.status.value,
+            "latency_optimal": self.latency_optimal,
+            "bandwidth_optimal": self.bandwidth_optimal,
+            "pareto_optimal": self.pareto_optimal,
+            "proved": self.proved,
+            "unsat_probes": self.unsat_probes,
+            "algorithm": None if self.algorithm is None else self.algorithm.to_dict(),
+        }
+        if include_timing:
+            data["synthesis_time"] = self.synthesis_time
+            data["backend"] = self.backend
+            data["cache_hit"] = self.cache_hit
+        return data
+
 
 @dataclass
 class ParetoFrontier:
@@ -85,6 +110,9 @@ class ParetoFrontier:
     points: List[ParetoPoint] = field(default_factory=list)
     exhausted_steps: bool = False
     total_time: float = 0.0
+    strategy: str = "serial"
+    backend: str = "cdcl"
+    engine_stats: Dict[str, int] = field(default_factory=dict)
 
     def algorithms(self) -> List[Algorithm]:
         return [p.algorithm for p in self.points if p.algorithm is not None]
@@ -107,9 +135,37 @@ class ParetoFrontier:
                 "R": point.rounds,
                 "optimality": point.optimality_label(),
                 "time_s": round(point.synthesis_time, 2),
+                "solved_by": point.provenance_label(),
             }
             for point in self.points
         ]
+
+    def to_dict(self, include_timing: bool = True) -> dict:
+        """JSON-friendly serialization of the whole frontier.
+
+        ``include_timing=False`` drops wall-clock and provenance fields, so
+        two runs over the same inputs serialize byte-identically regardless
+        of scheduling — the determinism tests compare serial and parallel
+        sweeps this way.
+        """
+        data = {
+            "collective": self.collective,
+            "topology": self.topology_name,
+            "k": self.k,
+            "latency_lower_bound": self.latency_lower_bound,
+            "bandwidth_lower_bound": [
+                self.bandwidth_lower_bound.numerator,
+                self.bandwidth_lower_bound.denominator,
+            ],
+            "exhausted_steps": self.exhausted_steps,
+            "points": [p.to_dict(include_timing=include_timing) for p in self.points],
+        }
+        if include_timing:
+            data["total_time"] = self.total_time
+            data["strategy"] = self.strategy
+            data["backend"] = self.backend
+            data["engine_stats"] = dict(self.engine_stats)
+        return data
 
 
 def candidate_set(
@@ -148,6 +204,10 @@ def pareto_synthesize(
     conflict_limit: Optional[int] = None,
     stop_at_bandwidth_optimal: bool = True,
     on_result: Optional[Callable[[SynthesisResult], None]] = None,
+    strategy: str = "incremental",
+    max_workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    cache=None,
 ) -> ParetoFrontier:
     """Run Algorithm 1 for a collective on a topology.
 
@@ -165,7 +225,22 @@ def pareto_synthesize(
     time_limit_per_instance / conflict_limit:
         Resource limits per SMT query; exceeded limits yield UNKNOWN
         candidates, which are skipped but recorded (``proved=False``).
+    strategy:
+        Candidate-sweep execution strategy: ``"incremental"`` (default; one
+        encoding per distinct chunk count via assumption-based probing),
+        ``"serial"`` (cold encode+solve per candidate, the paper's loop) or
+        ``"parallel"`` (process-pool fan-out with serial-replay semantics).
+    max_workers:
+        Worker-process count for the parallel strategy.
+    backend:
+        Registered solver-backend name (default ``"cdcl"``).
+    cache:
+        An :class:`~repro.engine.cache.AlgorithmCache`; hits replay persisted
+        SAT/UNSAT probes without touching the solver.
     """
+    from ..engine.backends import get_backend
+    from ..engine.dispatch import SweepRequest, SweepStats, make_dispatcher
+
     if k < 0:
         raise ParetoError("k must be non-negative")
     spec = get_collective(collective)
@@ -183,9 +258,15 @@ def pareto_synthesize(
             conflict_limit=conflict_limit,
             stop_at_bandwidth_optimal=stop_at_bandwidth_optimal,
             on_result=on_result,
+            strategy=strategy,
+            max_workers=max_workers,
+            backend=backend,
+            cache=cache,
         )
 
     start_time = time.monotonic()
+    dispatcher = make_dispatcher(strategy, max_workers=max_workers)
+    sweep_stats = SweepStats()
     a_l, b_l = lower_bounds(spec.name, topology, root=root)
     if max_steps is None:
         max_steps = a_l + 8
@@ -195,21 +276,30 @@ def pareto_synthesize(
         k=k,
         latency_lower_bound=a_l,
         bandwidth_lower_bound=b_l,
+        strategy=strategy,
+        backend=get_backend(backend).name,
     )
 
     reached_bandwidth_optimal = False
     for steps in range(a_l, max_steps + 1):
         if reached_bandwidth_optimal and stop_at_bandwidth_optimal:
             break
+        request = SweepRequest(
+            collective=spec.name,
+            topology=topology,
+            steps=steps,
+            candidates=tuple(candidate_set(steps, k, b_l, max_chunks)),
+            root=root,
+            prune=True,
+            backend=backend,
+            time_limit=time_limit_per_instance,
+            conflict_limit=conflict_limit,
+        )
+        outcome = dispatcher.sweep(request, cache=cache)
+        sweep_stats.merge(outcome.stats)
         proved = True
         unsat_probes = 0
-        for rounds, chunks in candidate_set(steps, k, b_l, max_chunks):
-            instance = make_instance(spec.name, topology, chunks, steps, rounds, root=root)
-            result = synthesize(
-                instance,
-                time_limit=time_limit_per_instance,
-                conflict_limit=conflict_limit,
-            )
+        for result in outcome.results:
             if on_result is not None:
                 on_result(result)
             if result.is_unknown:
@@ -218,6 +308,8 @@ def pareto_synthesize(
             if result.is_unsat:
                 unsat_probes += 1
                 continue
+            chunks = result.instance.chunks_per_node
+            rounds = result.instance.rounds
             point = ParetoPoint(
                 collective=spec.name,
                 chunks_per_node=chunks,
@@ -230,6 +322,8 @@ def pareto_synthesize(
                 bandwidth_optimal=(Fraction(rounds, chunks) == b_l),
                 proved=proved,
                 unsat_probes=unsat_probes,
+                backend=result.backend,
+                cache_hit=result.cache_hit,
             )
             frontier.points.append(point)
             if point.bandwidth_optimal:
@@ -243,6 +337,7 @@ def pareto_synthesize(
 
     _mark_pareto_optimal(frontier)
     frontier.total_time = time.monotonic() - start_time
+    frontier.engine_stats = sweep_stats.as_dict()
     return frontier
 
 
@@ -265,6 +360,10 @@ def _pareto_synthesize_combining(
     conflict_limit: Optional[int],
     stop_at_bandwidth_optimal: bool,
     on_result: Optional[Callable[[SynthesisResult], None]],
+    strategy: str = "incremental",
+    max_workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    cache=None,
 ) -> ParetoFrontier:
     """Reduce Reducescatter / Reduce / Allreduce synthesis to the non-combining base."""
     base_collective = {"Reducescatter": "Allgather", "Reduce": "Broadcast", "Allreduce": "Allgather"}[
@@ -282,6 +381,10 @@ def _pareto_synthesize_combining(
         conflict_limit=conflict_limit,
         stop_at_bandwidth_optimal=stop_at_bandwidth_optimal,
         on_result=on_result,
+        strategy=strategy,
+        max_workers=max_workers,
+        backend=backend,
+        cache=cache,
     )
     frontier = ParetoFrontier(
         collective=collective,
@@ -297,6 +400,9 @@ def _pareto_synthesize_combining(
         ),
         total_time=base.total_time,
         exhausted_steps=base.exhausted_steps,
+        strategy=base.strategy,
+        backend=base.backend,
+        engine_stats=dict(base.engine_stats),
     )
     for base_point in base.points:
         algorithm = base_point.algorithm
@@ -326,6 +432,8 @@ def _pareto_synthesize_combining(
                 bandwidth_optimal=base_point.bandwidth_optimal,
                 proved=base_point.proved,
                 unsat_probes=base_point.unsat_probes,
+                backend=base_point.backend,
+                cache_hit=base_point.cache_hit,
             )
         )
     _mark_pareto_optimal(frontier)

@@ -5,6 +5,14 @@
 returns a :class:`SynthesisResult` carrying the outcome, the decoded and
 *verified* algorithm (for SAT answers), and the timing / size statistics
 that the paper's Tables 4 and 5 report.
+
+Solving is delegated to the engine layer: the ``backend`` parameter names a
+registered :class:`~repro.engine.backends.SolverBackend` (default: the
+pure-Python CDCL solver) and an optional
+:class:`~repro.engine.cache.AlgorithmCache` short-circuits candidates whose
+outcome a previous run already persisted (``cache_hit=True`` on the result).
+Engine imports are deferred to call time so ``repro.core`` and
+``repro.engine`` can import each other's submodules without a cycle.
 """
 
 from __future__ import annotations
@@ -35,6 +43,8 @@ class SynthesisResult:
     encoding_stats: Dict[str, int] = field(default_factory=dict)
     solver_stats: Dict[str, float] = field(default_factory=dict)
     encoding: str = "sccl"
+    backend: str = "cdcl"
+    cache_hit: bool = False
 
     @property
     def is_sat(self) -> bool:
@@ -58,10 +68,15 @@ class SynthesisResult:
             f"C={self.instance.chunks_per_node} S={self.instance.steps} "
             f"R={self.instance.rounds}"
         )
+        if self.cache_hit:
+            provenance = f"[cached, backend={self.backend}]"
+        else:
+            provenance = f"[backend={self.backend}]"
         return (
             f"{self.instance.collective} [{sig}] -> {self.status.value} "
             f"in {self.total_time:.2f}s "
-            f"(encode {self.encode_time:.2f}s, solve {self.solve_time:.2f}s)"
+            f"(encode {self.encode_time:.2f}s, solve {self.solve_time:.2f}s) "
+            f"{provenance}"
         )
 
 
@@ -74,6 +89,8 @@ def synthesize(
     conflict_limit: Optional[int] = None,
     verify: bool = True,
     name: Optional[str] = None,
+    backend: Optional[str] = None,
+    cache=None,
 ) -> SynthesisResult:
     """Synthesize an algorithm for one SynColl instance.
 
@@ -93,29 +110,60 @@ def synthesize(
         Re-check the decoded algorithm against the run semantics; any
         violation raises :class:`SynthesisError` (it would indicate a bug in
         the encoder, not user error).
+    backend:
+        Name of a registered solver backend (default ``"cdcl"``).
+    cache:
+        An :class:`~repro.engine.cache.AlgorithmCache`.  A hit returns a
+        replayed result (``cache_hit=True``) without encoding or solving;
+        fresh SAT/UNSAT outcomes are persisted back.
     """
+    from ..engine.backends import get_backend
+    from ..engine.cache import lookup_result, store_result
+
+    if encoding not in ("sccl", "naive"):
+        raise ValueError(f"unknown encoding {encoding!r}")
+    # Resolve the backend before consulting the cache so a typo'd backend
+    # name fails immediately rather than only on the first cache miss.
+    solver_backend = get_backend(backend)
+
+    if cache is not None:
+        cached = lookup_result(
+            cache, instance, encoding=encoding, prune=prune, verify=verify
+        )
+        if cached is not None:
+            if name is not None and cached.algorithm is not None:
+                cached.algorithm = cached.algorithm.renamed(name)
+            return cached
+
     start = time.monotonic()
     if encoding == "sccl":
         encoder = ScclEncoding(instance, prune=prune)
-    elif encoding == "naive":
-        encoder = NaiveEncoding(instance)
     else:
-        raise ValueError(f"unknown encoding {encoding!r}")
+        encoder = NaiveEncoding(instance)
     ctx = encoder.encode()
     encode_time = time.monotonic() - start
 
-    outcome = ctx.check(time_limit=time_limit, conflict_limit=conflict_limit)
+    handle = solver_backend.create()
+    start = time.monotonic()
+    loaded = handle.load(ctx.cnf)
+    if not loaded:
+        status = SolveResult.UNSAT
+    else:
+        status = handle.solve(conflict_limit=conflict_limit, time_limit=time_limit)
+    solve_time = time.monotonic() - start
+
     result = SynthesisResult(
         instance=instance,
-        status=outcome.result,
+        status=status,
         encode_time=encode_time,
-        solve_time=outcome.solve_time,
+        solve_time=solve_time,
         encoding_stats=encoder.stats.as_dict(),
-        solver_stats=outcome.stats,
+        solver_stats=handle.stats() if loaded else {},
         encoding=encoding,
+        backend=solver_backend.name,
     )
-    if outcome.is_sat:
-        algorithm = encoder.decode(outcome.model, name=name)
+    if status is SolveResult.SAT:
+        algorithm = encoder.decode(handle.model(), name=name)
         if verify:
             try:
                 algorithm.verify()
@@ -124,6 +172,8 @@ def synthesize(
                     f"decoded algorithm fails verification: {exc}"
                 ) from exc
         result.algorithm = algorithm
+    if cache is not None:
+        store_result(cache, result, encoding=encoding, prune=prune)
     return result
 
 

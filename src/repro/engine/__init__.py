@@ -1,0 +1,87 @@
+"""The synthesis engine: solver backends, incremental sessions, parallel
+candidate dispatch and the persistent algorithm cache.
+
+This layer sits between the CNF/SAT substrate (:mod:`repro.solver`) and the
+synthesis logic (:mod:`repro.core`): the encoders stay where they are, but
+every *solve* now flows through a named :class:`SolverBackend`, fixed-``S``
+candidate sweeps reuse one encoding via :class:`IncrementalSession`, whole
+sweeps can fan out over a process pool via :class:`ParallelDispatcher`, and
+verified outcomes persist in a content-addressed :class:`AlgorithmCache`
+shared by the examples, the benchmarks, the evaluation harness and the
+runtime.
+"""
+
+from .backends import (
+    BackendError,
+    CdclBackend,
+    CdclHandle,
+    DEFAULT_BACKEND,
+    PySatBackend,
+    SolverBackend,
+    SolverHandle,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from .cache import (
+    CACHE_DIR_ENV,
+    AlgorithmCache,
+    CacheEntry,
+    CacheError,
+    default_cache,
+    default_cache_dir,
+    fingerprint,
+    instance_fingerprint,
+    load_algorithm,
+    lookup_result,
+    store_result,
+)
+from .dispatch import (
+    DispatchError,
+    IncrementalDispatcher,
+    ParallelDispatcher,
+    SerialDispatcher,
+    STRATEGIES,
+    SweepOutcome,
+    SweepRequest,
+    SweepStats,
+    make_dispatcher,
+)
+from .session import IncrementalSession, SessionError
+
+__all__ = [
+    "AlgorithmCache",
+    "BackendError",
+    "CACHE_DIR_ENV",
+    "CacheEntry",
+    "CacheError",
+    "CdclBackend",
+    "CdclHandle",
+    "DEFAULT_BACKEND",
+    "DispatchError",
+    "IncrementalDispatcher",
+    "IncrementalSession",
+    "ParallelDispatcher",
+    "PySatBackend",
+    "STRATEGIES",
+    "SerialDispatcher",
+    "SessionError",
+    "SolverBackend",
+    "SolverHandle",
+    "SweepOutcome",
+    "SweepRequest",
+    "SweepStats",
+    "available_backends",
+    "default_cache",
+    "default_cache_dir",
+    "fingerprint",
+    "get_backend",
+    "instance_fingerprint",
+    "load_algorithm",
+    "lookup_result",
+    "make_dispatcher",
+    "register_backend",
+    "store_result",
+    "unregister_backend",
+]

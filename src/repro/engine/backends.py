@@ -1,0 +1,203 @@
+"""Pluggable solver backends for the synthesis engine.
+
+The synthesis pipeline only needs a narrow slice of a SAT solver: load a
+CNF, solve under assumptions with optional resource limits, read a model.
+:class:`SolverBackend` captures that slice as a protocol, and a process-wide
+registry maps backend names to factories so external solvers (a PySAT
+binding, a subprocess DIMACS solver, ...) can be slotted in without touching
+the encode/decode layers.
+
+The default backend, ``"cdcl"``, wraps the pure-Python CDCL solver in
+:mod:`repro.solver.sat`.  A ``"pysat"`` backend is registered automatically
+when the optional ``python-sat`` package is importable; the container image
+used for CI does not ship it, so the registration is gated, never required.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, runtime_checkable
+
+from ..solver import CNF, SATSolver, SolveResult
+
+
+class BackendError(Exception):
+    """Raised for unknown or misconfigured solver backends."""
+
+
+@runtime_checkable
+class SolverHandle(Protocol):
+    """One solver instance owning a loaded formula.
+
+    A handle is *incremental*: after :meth:`load`, :meth:`solve` may be
+    called many times with different assumption sets, and learned state may
+    be reused across calls.
+    """
+
+    def load(self, cnf: CNF) -> bool:
+        """Load a formula; returns False if it is trivially UNSAT."""
+        ...
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        *,
+        conflict_limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ) -> SolveResult:
+        ...
+
+    def model(self) -> Dict[int, bool]:
+        ...
+
+    def stats(self) -> Dict[str, float]:
+        ...
+
+
+@runtime_checkable
+class SolverBackend(Protocol):
+    """A named factory of :class:`SolverHandle` instances."""
+
+    name: str
+
+    def create(self) -> SolverHandle:
+        ...
+
+
+class CdclHandle:
+    """Handle over the project's pure-Python CDCL solver."""
+
+    def __init__(self) -> None:
+        self._solver = SATSolver()
+
+    def load(self, cnf: CNF) -> bool:
+        return self._solver.add_cnf(cnf)
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        *,
+        conflict_limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ) -> SolveResult:
+        return self._solver.solve(
+            assumptions, conflict_limit=conflict_limit, time_limit=time_limit
+        )
+
+    def model(self) -> Dict[int, bool]:
+        return self._solver.model()
+
+    def stats(self) -> Dict[str, float]:
+        return self._solver.stats.as_dict()
+
+
+class CdclBackend:
+    """The default backend: one :class:`SATSolver` per handle."""
+
+    name = "cdcl"
+
+    def create(self) -> CdclHandle:
+        return CdclHandle()
+
+
+class PySatBackend:
+    """Backend over the optional ``python-sat`` package (if installed).
+
+    Resource limits: python-sat exposes conflict budgets but no wall-clock
+    limit; ``time_limit`` is therefore ignored and such calls can only be
+    bounded by ``conflict_limit``.
+    """
+
+    name = "pysat"
+
+    def __init__(self, solver_name: str = "minisat22") -> None:
+        self.solver_name = solver_name
+
+    def create(self) -> "_PySatHandle":
+        return _PySatHandle(self.solver_name)
+
+
+class _PySatHandle:
+    def __init__(self, solver_name: str) -> None:
+        from pysat.solvers import Solver  # gated import; see register below
+
+        self._solver = Solver(name=solver_name)
+        self._num_vars = 0
+
+    def load(self, cnf: CNF) -> bool:
+        self._num_vars = cnf.num_vars
+        for clause in cnf.clauses:
+            self._solver.add_clause(clause)
+        return True
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        *,
+        conflict_limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ) -> SolveResult:
+        if conflict_limit is not None:
+            self._solver.conf_budget(conflict_limit)
+            answer = self._solver.solve_limited(assumptions=list(assumptions))
+        else:
+            answer = self._solver.solve(assumptions=list(assumptions))
+        if answer is None:
+            return SolveResult.UNKNOWN
+        return SolveResult.SAT if answer else SolveResult.UNSAT
+
+    def model(self) -> Dict[int, bool]:
+        raw = self._solver.get_model() or []
+        model = {abs(lit): lit > 0 for lit in raw}
+        for var in range(1, self._num_vars + 1):
+            model.setdefault(var, False)
+        return model
+
+    def stats(self) -> Dict[str, float]:
+        return dict(self._solver.accum_stats() or {})
+
+
+_REGISTRY: Dict[str, SolverBackend] = {}
+
+DEFAULT_BACKEND = "cdcl"
+
+
+def register_backend(backend: SolverBackend, *, replace: bool = False) -> None:
+    """Register a backend under ``backend.name``."""
+    name = getattr(backend, "name", "")
+    if not name:
+        raise BackendError("backend must expose a non-empty .name")
+    if name in _REGISTRY and not replace:
+        raise BackendError(f"backend {name!r} already registered (pass replace=True)")
+    _REGISTRY[name] = backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend from the registry (the default cannot be removed)."""
+    if name == DEFAULT_BACKEND:
+        raise BackendError("the default cdcl backend cannot be unregistered")
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: Optional[str] = None) -> SolverBackend:
+    """Look up a backend by name (``None`` selects the default)."""
+    key = name or DEFAULT_BACKEND
+    backend = _REGISTRY.get(key)
+    if backend is None:
+        raise BackendError(
+            f"unknown solver backend {key!r}; available: {sorted(_REGISTRY)}"
+        )
+    return backend
+
+
+def available_backends() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+register_backend(CdclBackend())
+
+try:  # pragma: no cover - exercised only where python-sat is installed
+    import pysat.solvers  # noqa: F401
+
+    register_backend(PySatBackend())
+except ImportError:
+    pass

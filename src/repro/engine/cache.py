@@ -1,0 +1,357 @@
+"""Persistent, content-addressed cache of synthesized algorithms.
+
+Every solved ``(topology, collective, C, S, R, root, encoding, prune)``
+candidate is fingerprinted with SHA-256 over a canonical JSON payload and
+stored as one JSON file per entry.  SAT entries carry the verified
+algorithm's serialized schedule; UNSAT entries carry just the status, so a
+warm Pareto sweep skips its failed probes as well as its successes.
+UNKNOWN results are never cached — they depend on the resource limits of
+the run that produced them.
+
+The fingerprint covers only what determines satisfiability: the topology's
+structure (node count and bandwidth constraints — *not* its name or its
+alpha/beta cost parameters), the instance signature, and the encoding
+configuration.  On a hit the stored algorithm is re-verified against the
+run semantics and re-attached to the *requested* topology object, so cost
+queries use the caller's alpha/beta.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from ..core.algorithm import Algorithm
+from ..core.instance import SynCollInstance
+from ..solver import SolveResult
+from ..topology import Topology
+
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+class CacheError(Exception):
+    """Raised for malformed cache configurations."""
+
+
+def topology_fingerprint_payload(topology: Topology) -> dict:
+    """The structural part of a topology: what the solver can observe."""
+    return {
+        "num_nodes": topology.num_nodes,
+        "constraints": sorted(
+            (sorted(list(c.links)), c.bandwidth) for c in topology.constraints
+        ),
+    }
+
+
+def fingerprint(
+    collective: str,
+    topology: Topology,
+    chunks_per_node: int,
+    steps: int,
+    rounds: int,
+    *,
+    root: int = 0,
+    encoding: str = "sccl",
+    prune: bool = True,
+) -> str:
+    """Content hash identifying one synthesis candidate."""
+    payload = {
+        "version": CACHE_FORMAT_VERSION,
+        "collective": collective,
+        "topology": topology_fingerprint_payload(topology),
+        "chunks_per_node": chunks_per_node,
+        "steps": steps,
+        "rounds": rounds,
+        "root": root,
+        "encoding": encoding,
+        "prune": prune,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def instance_fingerprint(
+    instance: SynCollInstance, *, encoding: str = "sccl", prune: bool = True
+) -> str:
+    return fingerprint(
+        instance.collective,
+        instance.topology,
+        instance.chunks_per_node,
+        instance.steps,
+        instance.rounds,
+        root=instance.root,
+        encoding=encoding,
+        prune=prune,
+    )
+
+
+@dataclass
+class CacheEntry:
+    """One persisted synthesis outcome."""
+
+    key: str
+    status: str                       # "sat" or "unsat"
+    algorithm: Optional[dict] = None  # Algorithm.to_dict() for SAT entries
+    backend: str = "cdcl"
+    solve_time: float = 0.0
+    created_at: float = 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "version": CACHE_FORMAT_VERSION,
+            "key": self.key,
+            "status": self.status,
+            "algorithm": self.algorithm,
+            "backend": self.backend,
+            "solve_time": self.solve_time,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CacheEntry":
+        if data.get("version") != CACHE_FORMAT_VERSION:
+            raise CacheError(f"unsupported cache format version {data.get('version')!r}")
+        if data.get("status") not in ("sat", "unsat"):
+            raise CacheError(f"invalid cached status {data.get('status')!r}")
+        return cls(
+            key=data["key"],
+            status=data["status"],
+            algorithm=data.get("algorithm"),
+            backend=data.get("backend", "cdcl"),
+            solve_time=float(data.get("solve_time", 0.0)),
+            created_at=float(data.get("created_at", 0.0)),
+        )
+
+
+class AlgorithmCache:
+    """Directory-backed algorithm store with per-run hit/miss counters.
+
+    Entries live under ``<root>/<key[:2]>/<key>.json`` and are written
+    atomically (temp file + rename), so concurrent writers — the parallel
+    dispatcher's worker processes — can share one cache directory.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> Optional[CacheEntry]:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = CacheEntry.from_json(json.load(handle))
+        except (OSError, ValueError, KeyError, CacheError):
+            self.misses += 1
+            return None
+        if entry.key != key:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, entry: CacheEntry) -> None:
+        path = self._path(entry.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{entry.key[:8]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry.to_json(), handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def discard(self, key: str) -> None:
+        try:
+            os.unlink(self._path(key))
+        except OSError:
+            pass
+
+    def clear(self) -> None:
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json")) if self.root.exists() else 0
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+
+    # ------------------------------------------------------------------
+    # Algorithm-level convenience API (used by runtime/ and evaluation/)
+    # ------------------------------------------------------------------
+    def load_algorithm(
+        self,
+        collective: str,
+        topology: Topology,
+        chunks_per_node: int,
+        steps: int,
+        rounds: int,
+        *,
+        root: int = 0,
+        encoding: str = "sccl",
+        prune: bool = True,
+        verify: bool = True,
+    ) -> Optional[Algorithm]:
+        """Return the cached verified algorithm for a candidate, or None.
+
+        The stored schedule is re-attached to the caller's topology object
+        (the fingerprint guarantees structural equality) and re-verified.
+        """
+        key = fingerprint(
+            collective, topology, chunks_per_node, steps, rounds,
+            root=root, encoding=encoding, prune=prune,
+        )
+        entry = self.lookup(key)
+        if entry is None or entry.status != "sat" or entry.algorithm is None:
+            return None
+        return self._decode_algorithm(entry, topology, key, verify=verify)
+
+    def _decode_algorithm(
+        self, entry: CacheEntry, topology: Topology, key: str, *, verify: bool = True
+    ) -> Optional[Algorithm]:
+        try:
+            algorithm = Algorithm.from_dict(entry.algorithm)
+            algorithm = dataclasses.replace(algorithm, topology=topology)
+            if verify:
+                algorithm.verify()
+        except Exception:
+            # Corrupted or stale entry: drop it and report a miss.
+            self.discard(key)
+            self.hits -= 1
+            self.misses += 1
+            return None
+        return algorithm
+
+
+def default_cache_dir() -> Path:
+    """The cache directory: $REPRO_CACHE_DIR or ~/.cache/repro-sccl/algorithms."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-sccl" / "algorithms"
+
+
+def default_cache() -> AlgorithmCache:
+    """The process-default persistent cache (see :func:`default_cache_dir`)."""
+    return AlgorithmCache(default_cache_dir())
+
+
+# ----------------------------------------------------------------------
+# SynthesisResult bridging (used by the synthesizer and the dispatchers)
+# ----------------------------------------------------------------------
+def lookup_result(
+    cache: AlgorithmCache,
+    instance: SynCollInstance,
+    *,
+    encoding: str = "sccl",
+    prune: bool = True,
+    verify: bool = True,
+):
+    """Replay a cached outcome as a :class:`~repro.core.synthesizer.SynthesisResult`.
+
+    Returns ``None`` on a miss (including corrupted entries).  Hits carry
+    ``cache_hit=True``, the backend that originally produced the entry, and
+    zero encode/solve time — the evaluation tables use those fields to
+    distinguish solved from replayed rows.
+    """
+    from ..core.synthesizer import SynthesisResult
+
+    key = instance_fingerprint(instance, encoding=encoding, prune=prune)
+    entry = cache.lookup(key)
+    if entry is None:
+        return None
+    algorithm = None
+    if entry.status == "sat":
+        algorithm = cache._decode_algorithm(entry, instance.topology, key, verify=verify)
+        if algorithm is None:
+            return None
+    status = SolveResult.SAT if entry.status == "sat" else SolveResult.UNSAT
+    return SynthesisResult(
+        instance=instance,
+        status=status,
+        algorithm=algorithm,
+        encoding=encoding,
+        backend=entry.backend,
+        cache_hit=True,
+    )
+
+
+def store_result(
+    cache: AlgorithmCache,
+    result,
+    *,
+    encoding: str = "sccl",
+    prune: bool = True,
+) -> bool:
+    """Persist a SAT or UNSAT synthesis outcome; UNKNOWN is never stored."""
+    status = result.status
+    if status is SolveResult.SAT:
+        if result.algorithm is None:
+            return False
+        payload = result.algorithm.to_dict()
+        status_name = "sat"
+    elif status is SolveResult.UNSAT:
+        payload = None
+        status_name = "unsat"
+    else:
+        return False
+    key = instance_fingerprint(result.instance, encoding=encoding, prune=prune)
+    entry = CacheEntry(
+        key=key,
+        status=status_name,
+        algorithm=payload,
+        backend=result.backend,
+        solve_time=result.solve_time,
+        created_at=time.time(),
+    )
+    try:
+        cache.store(entry)
+    except OSError:
+        # The cache is an optimization: an unwritable directory must never
+        # fail a synthesis that already succeeded.
+        return False
+    return True
+
+
+def load_algorithm(
+    cache: AlgorithmCache,
+    collective: str,
+    topology: Topology,
+    chunks_per_node: int,
+    steps: int,
+    rounds: int,
+    **kwargs,
+) -> Optional[Algorithm]:
+    """Module-level alias of :meth:`AlgorithmCache.load_algorithm`."""
+    return cache.load_algorithm(
+        collective, topology, chunks_per_node, steps, rounds, **kwargs
+    )

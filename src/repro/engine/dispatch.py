@@ -1,0 +1,334 @@
+"""Candidate-sweep dispatchers for Pareto-Synthesize.
+
+Algorithm 1 probes, for each step count ``S``, an ordered list of ``(R, C)``
+candidates and keeps the first satisfiable one.  The dispatchers here are
+interchangeable strategies for executing that probe list:
+
+* :class:`SerialDispatcher` — the paper's loop: one cold encode+solve per
+  candidate, in cost order, stopping at the first SAT.
+* :class:`IncrementalDispatcher` — groups candidates by chunk count ``C``
+  and drives each group through one
+  :class:`~repro.engine.session.IncrementalSession`, so a fixed-``S`` sweep
+  pays one encoding per distinct ``C`` instead of one per candidate.
+* :class:`ParallelDispatcher` — fans candidates across a process pool and
+  then *replays* the serial decision rule over the results in candidate
+  order, so the reported outcome (and hence the Pareto frontier) is
+  byte-identical to the serial path; the parallelism is opportunistic, in
+  the PopPy sense — extra completed probes past the first SAT are discarded.
+
+All three consult and populate the algorithm cache when one is supplied,
+and report uniform :class:`SweepStats` so callers can account encodes,
+solver calls and cache hits.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.instance import make_instance
+from ..topology import Topology
+from .backends import get_backend
+from .cache import AlgorithmCache, lookup_result, store_result
+from .session import IncrementalSession
+
+
+class DispatchError(Exception):
+    """Raised for invalid dispatcher configurations."""
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One fixed-``S`` candidate sweep: the (R, C) list in probe order."""
+
+    collective: str
+    topology: Topology
+    steps: int
+    candidates: Tuple[Tuple[int, int], ...]  # (rounds, chunks) in cost order
+    root: int = 0
+    encoding: str = "sccl"
+    prune: bool = True
+    backend: Optional[str] = None
+    time_limit: Optional[float] = None
+    conflict_limit: Optional[int] = None
+    stop_at_first_sat: bool = True
+
+
+@dataclass
+class SweepStats:
+    """Work accounting for one or more sweeps."""
+
+    encode_calls: int = 0
+    solver_calls: int = 0
+    cache_hits: int = 0
+    candidates_probed: int = 0
+
+    def merge(self, other: "SweepStats") -> None:
+        self.encode_calls += other.encode_calls
+        self.solver_calls += other.solver_calls
+        self.cache_hits += other.cache_hits
+        self.candidates_probed += other.candidates_probed
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "encode_calls": self.encode_calls,
+            "solver_calls": self.solver_calls,
+            "cache_hits": self.cache_hits,
+            "candidates_probed": self.candidates_probed,
+        }
+
+
+@dataclass
+class SweepOutcome:
+    """Per-candidate results in probe order, truncated by the serial rule."""
+
+    results: List = field(default_factory=list)  # List[SynthesisResult]
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    @property
+    def first_sat(self):
+        for result in self.results:
+            if result.is_sat:
+                return result
+        return None
+
+
+def _account(stats: SweepStats, result) -> None:
+    stats.candidates_probed += 1
+    if result.cache_hit:
+        stats.cache_hits += 1
+    else:
+        stats.encode_calls += 1
+        stats.solver_calls += 1
+
+
+def _cached_result(request: SweepRequest, rounds: int, chunks: int, cache):
+    """Resolve one candidate against the cache (None on a miss or no cache)."""
+    if cache is None:
+        return None
+    instance = make_instance(
+        request.collective, request.topology, chunks,
+        request.steps, rounds, root=request.root,
+    )
+    return lookup_result(
+        cache, instance, encoding=request.encoding, prune=request.prune
+    )
+
+
+class SerialDispatcher:
+    """Cold encode+solve per candidate — the seed behaviour, cache-aware."""
+
+    name = "serial"
+
+    def sweep(self, request: SweepRequest, cache: Optional[AlgorithmCache] = None) -> SweepOutcome:
+        from ..core.synthesizer import synthesize
+
+        outcome = SweepOutcome()
+        for rounds, chunks in request.candidates:
+            instance = make_instance(
+                request.collective, request.topology, chunks,
+                request.steps, rounds, root=request.root,
+            )
+            result = synthesize(
+                instance,
+                encoding=request.encoding,
+                prune=request.prune,
+                time_limit=request.time_limit,
+                conflict_limit=request.conflict_limit,
+                backend=request.backend,
+                cache=cache,
+            )
+            _account(outcome.stats, result)
+            outcome.results.append(result)
+            if result.is_sat and request.stop_at_first_sat:
+                break
+        return outcome
+
+
+class IncrementalDispatcher:
+    """Assumption-based probing: one encoding per distinct chunk count.
+
+    Falls back to the serial dispatcher for the naive ablation encoding,
+    which has no rounds-budget selector layer.
+    """
+
+    name = "incremental"
+
+    def sweep(self, request: SweepRequest, cache: Optional[AlgorithmCache] = None) -> SweepOutcome:
+        if request.encoding != "sccl":
+            return SerialDispatcher().sweep(request, cache)
+
+        outcome = SweepOutcome()
+        sessions: Dict[int, IncrementalSession] = {}
+        max_rounds_per_chunks: Dict[int, int] = {}
+        for rounds, chunks in request.candidates:
+            max_rounds_per_chunks[chunks] = max(
+                max_rounds_per_chunks.get(chunks, request.steps), rounds
+            )
+        for rounds, chunks in request.candidates:
+            cached = _cached_result(request, rounds, chunks, cache)
+            if cached is not None:
+                result = cached
+                outcome.stats.cache_hits += 1
+                outcome.stats.candidates_probed += 1
+            else:
+                session = sessions.get(chunks)
+                if session is None:
+                    session = IncrementalSession(
+                        request.collective,
+                        request.topology,
+                        chunks,
+                        request.steps,
+                        max_rounds_per_chunks[chunks],
+                        root=request.root,
+                        prune=request.prune,
+                        backend=request.backend,
+                    )
+                    sessions[chunks] = session
+                before = session.encode_calls
+                result = session.solve(
+                    rounds,
+                    time_limit=request.time_limit,
+                    conflict_limit=request.conflict_limit,
+                )
+                outcome.stats.encode_calls += session.encode_calls - before
+                outcome.stats.solver_calls += 1
+                outcome.stats.candidates_probed += 1
+                if cache is not None:
+                    store_result(
+                        cache, result, encoding=request.encoding, prune=request.prune
+                    )
+            outcome.results.append(result)
+            if result.is_sat and request.stop_at_first_sat:
+                break
+        return outcome
+
+
+def _solve_candidate_worker(payload: dict):
+    """Top-level worker for the process pool (must be picklable by name)."""
+    from ..core.synthesizer import synthesize
+    from .backends import register_backend
+
+    # A worker process starts with a fresh registry (only the default and
+    # any import-time backends), so runtime-registered backends travel as
+    # pickled objects and are re-registered here.
+    backend_obj = payload["backend_obj"]
+    if backend_obj is not None:
+        register_backend(backend_obj, replace=True)
+    cache = AlgorithmCache(payload["cache_dir"]) if payload["cache_dir"] else None
+    instance = make_instance(
+        payload["collective"], payload["topology"], payload["chunks"],
+        payload["steps"], payload["rounds"], root=payload["root"],
+    )
+    return synthesize(
+        instance,
+        encoding=payload["encoding"],
+        prune=payload["prune"],
+        time_limit=payload["time_limit"],
+        conflict_limit=payload["conflict_limit"],
+        backend=payload["backend"],
+        cache=cache,
+    )
+
+
+class ParallelDispatcher:
+    """Process-pool fan-out with deterministic serial-replay semantics."""
+
+    name = "parallel"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise DispatchError("max_workers must be at least 1")
+        self.max_workers = max_workers
+
+    def sweep(self, request: SweepRequest, cache: Optional[AlgorithmCache] = None) -> SweepOutcome:
+        # Fail fast on unknown backend names before spawning any workers.
+        backend_obj = get_backend(request.backend)
+        candidates = list(request.candidates)
+        if len(candidates) <= 1 or self.max_workers == 1:
+            return SerialDispatcher().sweep(request, cache)
+
+        outcome = SweepOutcome()
+        # Fast path: resolve cache hits in-process before spawning workers.
+        results: List = [None] * len(candidates)
+        pending: List[int] = []
+        for index, (rounds, chunks) in enumerate(candidates):
+            cached = _cached_result(request, rounds, chunks, cache)
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+
+        if request.stop_at_first_sat:
+            # A SAT cache hit already decides the sweep at its position;
+            # candidates after it would be discarded by the replay.
+            for index, cached in enumerate(results):
+                if cached is not None and cached.is_sat:
+                    pending = [i for i in pending if i < index]
+                    break
+
+        if pending:
+            def payload(index: int) -> dict:
+                return {
+                    "collective": request.collective,
+                    "topology": request.topology,
+                    "chunks": candidates[index][1],
+                    "steps": request.steps,
+                    "rounds": candidates[index][0],
+                    "root": request.root,
+                    "encoding": request.encoding,
+                    "prune": request.prune,
+                    "backend": request.backend,
+                    "backend_obj": backend_obj,
+                    "time_limit": request.time_limit,
+                    "conflict_limit": request.conflict_limit,
+                    "cache_dir": str(cache.root) if cache is not None else None,
+                }
+
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                try:
+                    futures = {
+                        index: pool.submit(_solve_candidate_worker, payload(index))
+                        for index in pending
+                    }
+                    # Consume in candidate order; once the decisive ordered
+                    # prefix is resolved (first SAT under stop_at_first_sat),
+                    # cancel the rest — their results would be discarded by
+                    # the replay anyway.
+                    for index in pending:
+                        results[index] = futures[index].result()
+                        if results[index].is_sat and request.stop_at_first_sat:
+                            break
+                finally:
+                    pool.shutdown(wait=False, cancel_futures=True)
+
+        # Replay the serial decision rule over the ordered results so the
+        # observable outcome is identical to SerialDispatcher's.
+        for result in results:
+            if result is None:
+                break  # probes past the first SAT that were cancelled
+            _account(outcome.stats, result)
+            outcome.results.append(result)
+            if result.is_sat and request.stop_at_first_sat:
+                break
+        return outcome
+
+
+STRATEGIES = {
+    "serial": SerialDispatcher,
+    "incremental": IncrementalDispatcher,
+    "parallel": ParallelDispatcher,
+}
+
+
+def make_dispatcher(strategy: str = "incremental", *, max_workers: Optional[int] = None):
+    """Build a dispatcher by strategy name."""
+    if strategy == "parallel":
+        return ParallelDispatcher(max_workers=max_workers)
+    cls = STRATEGIES.get(strategy)
+    if cls is None:
+        raise DispatchError(
+            f"unknown sweep strategy {strategy!r}; available: {sorted(STRATEGIES)}"
+        )
+    return cls()

@@ -89,6 +89,7 @@ def _synthesize_points(
     points: Sequence[Tuple[int, int, int]],
     time_limit: Optional[float],
     precomputed: Optional[Dict[Tuple[int, int, int], Algorithm]] = None,
+    cache=None,
 ) -> Tuple[Dict[Tuple[int, int, int], Algorithm], Dict[str, str]]:
     algorithms: Dict[Tuple[int, int, int], Algorithm] = {}
     skipped: Dict[str, str] = {}
@@ -98,7 +99,7 @@ def _synthesize_points(
             algorithms[(chunks, steps, rounds)] = precomputed[(chunks, steps, rounds)]
             continue
         instance = make_instance(collective, topology, chunks, steps, rounds)
-        result = synthesize(instance, time_limit=time_limit)
+        result = synthesize(instance, time_limit=time_limit, cache=cache)
         if result.algorithm is None:
             skipped[label] = f"synthesis {result.status.value} after {result.total_time:.0f}s"
             continue
@@ -128,6 +129,7 @@ def figure4_allgather_dgx1(
     time_limit: Optional[float] = 60.0,
     points: Optional[Sequence[Tuple[int, int, int]]] = None,
     precomputed: Optional[Dict[Tuple[int, int, int], Algorithm]] = None,
+    cache=None,
 ) -> FigureResult:
     """Figure 4: Allgather speedup over NCCL on the DGX-1.
 
@@ -138,7 +140,9 @@ def figure4_allgather_dgx1(
     sizes = list(sizes or DEFAULT_SIZES)
     points = list(points or FIGURE4_POINTS)
     topology = dgx1()
-    algorithms, skipped = _synthesize_points("Allgather", topology, points, time_limit, precomputed)
+    algorithms, skipped = _synthesize_points(
+        "Allgather", topology, points, time_limit, precomputed, cache=cache
+    )
     labeled: Dict[str, Tuple[Algorithm, str]] = {}
     for signature, algorithm in algorithms.items():
         labeled[_label(signature)] = (algorithm, "single_kernel_push")
@@ -161,6 +165,7 @@ def figure5_allreduce_dgx1(
     time_limit: Optional[float] = 60.0,
     points: Optional[Sequence[Tuple[int, int, int]]] = None,
     precomputed: Optional[Dict[Tuple[int, int, int], Algorithm]] = None,
+    cache=None,
 ) -> FigureResult:
     """Figure 5: Allreduce speedup over NCCL on the DGX-1.
 
@@ -171,7 +176,9 @@ def figure5_allreduce_dgx1(
     sizes = list(sizes or DEFAULT_SIZES)
     points = list(points or FIGURE5_POINTS)
     topology = dgx1()
-    allgathers, skipped = _synthesize_points("Allgather", topology, points, time_limit, precomputed)
+    allgathers, skipped = _synthesize_points(
+        "Allgather", topology, points, time_limit, precomputed, cache=cache
+    )
     labeled: Dict[str, Tuple[Algorithm, str]] = {}
     for signature, allgather in allgathers.items():
         allreduce = allreduce_from_allgather(allgather)
@@ -191,12 +198,15 @@ def figure6_allgather_amd(
     time_limit: Optional[float] = 60.0,
     points: Optional[Sequence[Tuple[int, int, int]]] = None,
     precomputed: Optional[Dict[Tuple[int, int, int], Algorithm]] = None,
+    cache=None,
 ) -> FigureResult:
     """Figure 6: Allgather speedup over RCCL on the Gigabyte Z52."""
     sizes = list(sizes or DEFAULT_SIZES)
     points = list(points or FIGURE6_POINTS)
     topology = amd_z52()
-    algorithms, skipped = _synthesize_points("Allgather", topology, points, time_limit, precomputed)
+    algorithms, skipped = _synthesize_points(
+        "Allgather", topology, points, time_limit, precomputed, cache=cache
+    )
     labeled = {
         _label(signature): (algorithm, "single_kernel_push")
         for signature, algorithm in algorithms.items()

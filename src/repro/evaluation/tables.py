@@ -68,7 +68,7 @@ def table3_rows(multiplier: int = 1) -> List[Dict[str, object]]:
 
 @dataclass
 class SynthesisTableConfig:
-    """Resource limits for regenerating a synthesis table."""
+    """Resource limits and engine configuration for regenerating a synthesis table."""
 
     time_limit_per_instance: Optional[float] = 60.0
     conflict_limit: Optional[int] = None
@@ -77,6 +77,10 @@ class SynthesisTableConfig:
     broadcast_max_steps: int = 5  # Broadcast's enumeration does not terminate on its own
     collectives: Optional[Sequence[str]] = None  # subset filter
     max_k: Optional[int] = None
+    strategy: str = "incremental"        # candidate-sweep strategy (engine dispatch)
+    max_workers: Optional[int] = None    # worker processes for strategy="parallel"
+    backend: Optional[str] = None        # solver backend name
+    cache_dir: Optional[str] = None      # algorithm-cache directory (None disables)
 
 
 def _frontier_rows(frontier: ParetoFrontier, k: int) -> List[Dict[str, object]]:
@@ -93,6 +97,9 @@ def _frontier_rows(frontier: ParetoFrontier, k: int) -> List[Dict[str, object]]:
                 "pareto": point.pareto_optimal,
                 "status": point.status.value,
                 "time_s": round(point.synthesis_time, 2),
+                # Distinguish freshly solved rows from cache replays so the
+                # reported times are interpretable.
+                "solved_by": point.provenance_label(),
             }
         )
     return rows
@@ -105,6 +112,11 @@ def synthesis_table(
 ) -> List[Dict[str, object]]:
     """Run Pareto-Synthesize for each (collective, k) request and collect rows."""
     config = config or SynthesisTableConfig()
+    cache = None
+    if config.cache_dir is not None:
+        from ..engine.cache import AlgorithmCache
+
+        cache = AlgorithmCache(config.cache_dir)
     rows: List[Dict[str, object]] = []
     seen: set = set()
     for collective, k in runs:
@@ -123,6 +135,10 @@ def synthesis_table(
             max_chunks=config.max_chunks,
             time_limit_per_instance=config.time_limit_per_instance,
             conflict_limit=config.conflict_limit,
+            strategy=config.strategy,
+            max_workers=config.max_workers,
+            backend=config.backend,
+            cache=cache,
         )
         for row in _frontier_rows(frontier, k):
             key = (row["collective"], row["C"], row["S"], row["R"])

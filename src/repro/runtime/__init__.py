@@ -2,7 +2,7 @@
 
 from .codegen import CodegenError, generate_cuda_like_source, write_source
 from .executor import ExecutionError, ExecutionResult, Executor, execute
-from .lowering import PROTOCOLS, LoweringError, lower, lower_all_protocols
+from .lowering import PROTOCOLS, LoweringError, lower, lower_all_protocols, lower_cached
 from .program import Instruction, OpCode, Program, ProgramError, RankProgram
 from .simulator import (
     DEFAULT_PROTOCOLS,
@@ -36,6 +36,7 @@ __all__ = [
     "generate_cuda_like_source",
     "lower",
     "lower_all_protocols",
+    "lower_cached",
     "simulate",
     "write_source",
 ]

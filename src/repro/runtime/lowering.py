@@ -92,3 +92,34 @@ def lower(
 def lower_all_protocols(algorithm: Algorithm) -> Dict[str, Program]:
     """Lower an algorithm under every protocol (used by the lowering ablation)."""
     return {protocol: lower(algorithm, protocol) for protocol in PROTOCOLS}
+
+
+def lower_cached(
+    cache,
+    collective: str,
+    topology,
+    chunks_per_node: int,
+    steps: int,
+    rounds: int,
+    *,
+    root: int = 0,
+    protocol: str = "single_kernel_push",
+    name: Optional[str] = None,
+) -> Program:
+    """Lower an algorithm persisted in an engine :class:`AlgorithmCache`.
+
+    This is the runtime's entry into the same content-addressed store the
+    synthesizer and the evaluation harness use: serving a collective that a
+    previous run already synthesized costs a JSON load, a verification and a
+    lowering — no solver.  Raises :class:`LoweringError` when the candidate
+    has no verified cache entry.
+    """
+    algorithm = cache.load_algorithm(
+        collective, topology, chunks_per_node, steps, rounds, root=root
+    )
+    if algorithm is None:
+        raise LoweringError(
+            f"no cached algorithm for {collective} on {topology.name} "
+            f"(C={chunks_per_node}, S={steps}, R={rounds}); synthesize it first"
+        )
+    return lower(algorithm, protocol=protocol, name=name)

@@ -1,0 +1,16 @@
+"""Importable helper module so test backends can be pickled into pool workers."""
+
+from repro.engine import CdclHandle
+
+
+class PickleableCountingBackend:
+    """A module-level backend class (picklable by reference) for dispatch tests."""
+
+    name = "pickle-counting"
+
+    def __init__(self):
+        self.created = 0
+
+    def create(self):
+        self.created += 1
+        return CdclHandle()

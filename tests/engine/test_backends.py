@@ -1,0 +1,108 @@
+"""Tests for the solver-backend registry."""
+
+import pytest
+
+from repro.core import make_instance, synthesize
+from repro.engine import (
+    BackendError,
+    CdclBackend,
+    CdclHandle,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.solver import SolveResult
+from repro.topology import ring
+
+
+class TestRegistry:
+    def test_default_backend_is_cdcl(self):
+        assert get_backend().name == "cdcl"
+        assert get_backend(None).name == "cdcl"
+        assert "cdcl" in available_backends()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(BackendError):
+            get_backend("z3")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(BackendError):
+            register_backend(CdclBackend())
+
+    def test_default_cannot_be_unregistered(self):
+        with pytest.raises(BackendError):
+            unregister_backend("cdcl")
+
+    def test_nameless_backend_rejected(self):
+        class Nameless:
+            name = ""
+
+            def create(self):  # pragma: no cover
+                return CdclHandle()
+
+        with pytest.raises(BackendError):
+            register_backend(Nameless())
+
+
+class CountingBackend:
+    """A custom backend wrapping the CDCL handle, counting create() calls."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.created = 0
+
+    def create(self):
+        self.created += 1
+        return CdclHandle()
+
+
+class TestCustomBackend:
+    def test_synthesize_routes_through_registered_backend(self):
+        backend = CountingBackend()
+        register_backend(backend, replace=True)
+        try:
+            result = synthesize(
+                make_instance("Allgather", ring(4), 1, 2, 3), backend="counting"
+            )
+            assert backend.created == 1
+            assert result.backend == "counting"
+            assert result.is_sat
+            result.algorithm.verify()
+        finally:
+            unregister_backend("counting")
+
+    def test_pareto_reports_backend_on_points(self):
+        backend = CountingBackend()
+        register_backend(backend, replace=True)
+        try:
+            from repro.core import pareto_synthesize
+
+            frontier = pareto_synthesize(
+                "Allgather", ring(4), k=0, max_steps=3, backend="counting"
+            )
+            assert frontier.backend == "counting"
+            assert frontier.points
+            assert all(p.backend == "counting" for p in frontier.points)
+            assert backend.created > 0
+        finally:
+            unregister_backend("counting")
+
+
+class TestCdclHandle:
+    def test_handle_solves_and_models(self):
+        from repro.solver import CNF
+
+        cnf = CNF()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add_clause([a, b])
+        cnf.add_clause([-a])
+        handle = CdclHandle()
+        assert handle.load(cnf)
+        assert handle.solve() is SolveResult.SAT
+        model = handle.model()
+        assert model[b] and not model[a]
+        # Incremental: assumptions flip the answer without reloading.
+        assert handle.solve([-b]) is SolveResult.UNSAT
+        assert handle.solve([b]) is SolveResult.SAT

@@ -1,0 +1,183 @@
+"""Tests for the persistent algorithm cache, including the acceptance
+criterion that a warm-cache run of examples/quickstart.py performs zero
+solver calls.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import make_instance, pareto_synthesize, synthesize
+from repro.engine import (
+    AlgorithmCache,
+    fingerprint,
+    instance_fingerprint,
+    lookup_result,
+)
+from repro.runtime import LoweringError, lower_cached
+from repro.solver import SATSolver
+from repro.topology import dgx1, ring
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return AlgorithmCache(tmp_path / "algorithms")
+
+
+def forbid_solving(monkeypatch):
+    """Make any SAT-solver invocation fail the test."""
+
+    def boom(self, *args, **kwargs):  # pragma: no cover - the assertion itself
+        raise AssertionError("solver was invoked during a warm-cache run")
+
+    monkeypatch.setattr(SATSolver, "solve", boom)
+
+
+class TestFingerprint:
+    def test_name_and_cost_params_do_not_affect_key(self):
+        import dataclasses
+
+        topo = ring(4)
+        renamed = dataclasses.replace(topo, name="other", alpha=1.0, beta=2.0)
+        assert fingerprint("Allgather", topo, 1, 2, 3) == fingerprint(
+            "Allgather", renamed, 1, 2, 3
+        )
+
+    def test_signature_fields_affect_key(self):
+        topo = ring(4)
+        base = fingerprint("Allgather", topo, 1, 2, 3)
+        assert base != fingerprint("Allgather", topo, 1, 2, 2)
+        assert base != fingerprint("Allgather", topo, 2, 2, 3)
+        assert base != fingerprint("Gather", topo, 1, 2, 3)
+        assert base != fingerprint("Allgather", ring(6), 1, 2, 3)
+        assert base != fingerprint("Allgather", topo, 1, 2, 3, prune=False)
+        assert base != fingerprint("Allgather", topo, 1, 2, 3, encoding="naive")
+
+
+class TestCacheBasics:
+    def test_sat_roundtrip(self, cache):
+        instance = make_instance("Allgather", ring(4), 1, 2, 3)
+        cold = synthesize(instance, cache=cache)
+        assert not cold.cache_hit
+        warm = synthesize(instance, cache=cache)
+        assert warm.cache_hit
+        assert warm.is_sat
+        warm.algorithm.verify()
+        assert warm.backend == cold.backend
+
+    def test_unsat_cached(self, cache):
+        instance = make_instance("Allgather", ring(4), 1, 1, 1)
+        assert not synthesize(instance, cache=cache).cache_hit
+        warm = synthesize(instance, cache=cache)
+        assert warm.cache_hit and warm.is_unsat
+
+    def test_unknown_not_cached(self, cache):
+        instance = make_instance("Allgather", ring(6), 2, 5, 5)
+        result = synthesize(instance, cache=cache, conflict_limit=1)
+        if result.is_unknown:
+            assert len(cache) == 0
+            assert not synthesize(instance, cache=cache, conflict_limit=1).cache_hit
+
+    def test_corrupted_entry_is_a_miss(self, cache):
+        instance = make_instance("Allgather", ring(4), 1, 2, 2)
+        synthesize(instance, cache=cache)
+        key = instance_fingerprint(instance)
+        path = cache._path(key)
+        path.write_text("{not json", encoding="utf-8")
+        assert lookup_result(cache, instance) is None
+        # And a fresh solve repairs the entry.
+        repaired = synthesize(instance, cache=cache)
+        assert not repaired.cache_hit
+        assert synthesize(instance, cache=cache).cache_hit
+
+    def test_unwritable_cache_never_fails_synthesis(self):
+        # The cache is an optimization: a broken cache directory must not
+        # turn a successful solve into an error.
+        broken = AlgorithmCache("/dev/null/not-a-directory")
+        instance = make_instance("Allgather", ring(4), 1, 2, 3)
+        result = synthesize(instance, cache=broken)
+        assert result.is_sat and not result.cache_hit
+        result.algorithm.verify()
+
+    def test_tampered_algorithm_fails_closed(self, cache):
+        instance = make_instance("Allgather", ring(4), 1, 2, 2)
+        synthesize(instance, cache=cache)
+        key = instance_fingerprint(instance)
+        path = cache._path(key)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        # Drop every send from the schedule; verification must reject it.
+        for step in data["algorithm"]["steps"]:
+            step["sends"] = []
+        path.write_text(json.dumps(data), encoding="utf-8")
+        assert lookup_result(cache, instance) is None
+        assert not path.exists()  # the bad entry was discarded
+
+
+class TestWarmRunsPerformZeroSolverCalls:
+    def test_warm_synthesize_never_touches_the_solver(self, cache, monkeypatch):
+        instance = make_instance("Allgather", ring(4), 1, 2, 3)
+        synthesize(instance, cache=cache)
+        forbid_solving(monkeypatch)
+        warm = synthesize(instance, cache=cache)
+        assert warm.cache_hit and warm.is_sat
+
+    def test_warm_pareto_never_touches_the_solver(self, cache, monkeypatch):
+        kwargs = dict(k=1, max_steps=3, cache=cache)
+        cold = pareto_synthesize("Allgather", ring(4), **kwargs)
+        forbid_solving(monkeypatch)
+        warm = pareto_synthesize("Allgather", ring(4), **kwargs)
+        assert [p.signature for p in warm.points] == [p.signature for p in cold.points]
+        assert all(p.cache_hit for p in warm.points)
+        assert warm.engine_stats["cache_hits"] == warm.engine_stats["candidates_probed"]
+
+    def test_warm_quickstart_performs_zero_solver_calls(self, tmp_path, monkeypatch, capsys):
+        """Acceptance criterion: warm examples/quickstart.py -> no solving."""
+        spec = importlib.util.spec_from_file_location(
+            "quickstart_under_test", EXAMPLES_DIR / "quickstart.py"
+        )
+        quickstart = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(quickstart)
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "qs-cache"))
+        monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+        quickstart.main()  # cold run populates the cache
+        capsys.readouterr()
+
+        forbid_solving(monkeypatch)
+        quickstart.main()  # warm run must complete without any solver call
+        out = capsys.readouterr().out
+        assert "cached" in out
+        assert "functional execution: OK" in out
+
+
+class TestRuntimeLoadsCachedAlgorithms:
+    def test_lower_cached_roundtrip(self, cache):
+        topo = dgx1()
+        instance = make_instance("Allgather", topo, 1, 2, 2)
+        synthesize(instance, cache=cache)
+        program = lower_cached(cache, "Allgather", topo, 1, 2, 2)
+        assert program.num_ranks == topo.num_nodes
+
+    def test_lower_cached_missing_entry_raises(self, cache):
+        with pytest.raises(LoweringError):
+            lower_cached(cache, "Allgather", ring(4), 1, 2, 3)
+
+
+class TestParallelSharesTheCache:
+    def test_parallel_workers_populate_the_cache(self, cache):
+        frontier = pareto_synthesize(
+            "Allgather", ring(4), k=1, max_steps=3,
+            strategy="parallel", max_workers=2, cache=cache,
+        )
+        assert frontier.points
+        assert len(cache) > 0
+        # A warm serial re-run replays every probe from the workers' entries.
+        warm = pareto_synthesize(
+            "Allgather", ring(4), k=1, max_steps=3, strategy="serial", cache=cache
+        )
+        assert all(p.cache_hit for p in warm.points)

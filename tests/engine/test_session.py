@@ -1,0 +1,126 @@
+"""Tests for incremental sessions and the rounds-budget selector layer."""
+
+import pytest
+
+from repro.core import ScclEncoding, make_instance, synthesize
+from repro.engine import (
+    IncrementalDispatcher,
+    IncrementalSession,
+    SerialDispatcher,
+    SessionError,
+    SweepRequest,
+)
+from repro.topology import dgx1, line, ring
+
+
+class TestRoundsSelectorLayer:
+    def test_budget_encoding_agrees_with_cold_encoding(self):
+        # Every R in the budget must give the same SAT/UNSAT answer as a
+        # dedicated cold encoding at that R.
+        session = IncrementalSession("Allgather", ring(6), 1, 3, 6)
+        for rounds in range(3, 7):
+            incremental = session.solve(rounds)
+            cold = synthesize(make_instance("Allgather", ring(6), 1, 3, rounds))
+            assert incremental.status is cold.status, f"R={rounds}"
+            if incremental.is_sat:
+                incremental.algorithm.verify()
+                assert incremental.algorithm.total_rounds == rounds
+
+    def test_budget_encoding_agrees_on_unsat_family(self):
+        # Allgather on a 6-ring with C=2 needs 5 rounds; 4 is UNSAT.
+        session = IncrementalSession("Allgather", ring(6), 2, 4, 5)
+        assert session.solve(4).is_unsat
+        assert session.solve(5).is_sat
+
+    def test_out_of_budget_rounds_rejected(self):
+        session = IncrementalSession("Allgather", ring(4), 1, 2, 3)
+        with pytest.raises(SessionError):
+            session.solve(4)
+        with pytest.raises(SessionError):
+            session.solve(1)
+
+    def test_budget_below_steps_rejected(self):
+        with pytest.raises(SessionError):
+            IncrementalSession("Allgather", ring(4), 1, 3, 2)
+
+    def test_rounds_assumptions_requires_budget(self):
+        encoder = ScclEncoding(make_instance("Allgather", ring(4), 1, 2, 2))
+        encoder.encode()
+        with pytest.raises(Exception):
+            encoder.rounds_assumptions(2)
+
+    def test_single_encode_across_probes(self):
+        session = IncrementalSession("Broadcast", line(4), 1, 3, 5)
+        for rounds in (3, 4, 5):
+            session.solve(rounds)
+        assert session.encode_calls == 1
+        assert session.solver_calls == 3
+
+
+class TestAcceptanceFixedStepSweepOnDgx1:
+    """Acceptance criterion: a fixed-S Allgather candidate sweep on the
+    DGX-1 uses strictly fewer total encoding calls than the serial baseline.
+    """
+
+    # The full S=2, k=2 candidate set capped at C<=2, probed exhaustively so
+    # both strategies answer every candidate.
+    REQUEST = SweepRequest(
+        collective="Allgather",
+        topology=dgx1(),
+        steps=2,
+        candidates=((3, 2), (2, 1), (4, 2), (3, 1), (4, 1)),
+        stop_at_first_sat=False,
+    )
+
+    def test_incremental_sweep_uses_strictly_fewer_encodes(self):
+        serial = SerialDispatcher().sweep(self.REQUEST)
+        incremental = IncrementalDispatcher().sweep(self.REQUEST)
+
+        # Identical verdicts candidate by candidate...
+        assert [r.status for r in incremental.results] == [
+            r.status for r in serial.results
+        ]
+        for result in incremental.results:
+            if result.is_sat:
+                result.algorithm.verify()
+        # ... at strictly lower encoding cost: one encode per distinct C
+        # (2 here) instead of one per candidate (5).
+        assert serial.stats.encode_calls == len(self.REQUEST.candidates)
+        assert incremental.stats.encode_calls == 2
+        assert incremental.stats.encode_calls < serial.stats.encode_calls
+
+    def test_early_stop_sweep_never_encodes_more_than_serial(self):
+        request = SweepRequest(
+            collective="Allgather",
+            topology=dgx1(),
+            steps=2,
+            candidates=self.REQUEST.candidates,
+        )
+        serial = SerialDispatcher().sweep(request)
+        incremental = IncrementalDispatcher().sweep(request)
+        assert incremental.stats.encode_calls <= serial.stats.encode_calls
+        assert incremental.first_sat is not None
+        assert (
+            incremental.first_sat.instance.chunks_per_node,
+            incremental.first_sat.instance.rounds,
+        ) == (
+            serial.first_sat.instance.chunks_per_node,
+            serial.first_sat.instance.rounds,
+        )
+
+
+class TestSessionResults:
+    def test_results_report_backend_and_instance(self):
+        session = IncrementalSession("Allgather", ring(4), 1, 2, 3)
+        result = session.solve(3)
+        assert result.backend == "cdcl"
+        assert not result.cache_hit
+        assert result.instance.rounds == 3
+        assert result.instance.steps == 2
+
+    def test_encode_time_attributed_to_first_probe(self):
+        session = IncrementalSession("Allgather", ring(6), 1, 3, 5)
+        first = session.solve(3)
+        second = session.solve(4)
+        assert first.encode_time > 0.0
+        assert second.encode_time == 0.0
