@@ -15,7 +15,11 @@ This walks the full SCCL pipeline on the paper's running example of Figure 2
 Run:  python examples/quickstart.py
 
 The cache lives in $REPRO_CACHE_DIR (default ~/.cache/repro-sccl); delete
-the directory or pass --no-cache to force a fresh solve.
+the directory, run `repro cache clear`, or pass --no-cache to force a
+fresh solve.  The same pipeline is scriptable without Python through the
+CLI (`repro synthesize Allgather -t ring:4 -C 1 -S 2 -R 3`); see
+examples/interchange_toolchain.py for exporting schedules as MSCCL-style
+XML and plan bundles.
 """
 
 import argparse

@@ -24,9 +24,17 @@ Subpackages
     NCCL / RCCL style ring, tree and pipelined schedules (Table 3).
 ``repro.evaluation``
     Harnesses regenerating every table and figure of the evaluation.
+``repro.engine``
+    Solver backends, incremental sessions, sweep dispatchers and the
+    persistent algorithm cache.
+``repro.interchange``
+    MSCCL-style XML and JSON plan bundles with spec re-verification on
+    import.
+``repro.cli``
+    The ``repro`` command line (``python -m repro``).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "solver",
@@ -36,4 +44,7 @@ __all__ = [
     "runtime",
     "baselines",
     "evaluation",
+    "engine",
+    "interchange",
+    "cli",
 ]

@@ -1,0 +1,6 @@
+"""Module entrypoint: ``python -m repro`` runs the CLI."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""Command-line interface (``repro`` / ``python -m repro``).
+
+See :mod:`repro.cli.main` for the subcommand reference.  The console script
+is declared in ``pyproject.toml`` (``repro = "repro.cli:main"``).
+"""
+
+from .main import CliError, build_parser, main
+from .topologies import TOPOLOGY_HELP, TopologySpecError, parse_topology
+
+__all__ = [
+    "CliError",
+    "TOPOLOGY_HELP",
+    "TopologySpecError",
+    "build_parser",
+    "main",
+    "parse_topology",
+]

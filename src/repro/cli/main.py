@@ -1,0 +1,614 @@
+"""``repro`` — the command-line front door to the synthesis toolchain.
+
+Subcommands
+-----------
+``repro synthesize``
+    Solve one SynColl candidate (collective, topology, C/S/R), writing the
+    outcome through the persistent algorithm cache and optionally exporting
+    the algorithm as MSCCL-style XML or a plan bundle.
+``repro pareto``
+    Run Pareto-Synthesize (Algorithm 1) with any engine strategy
+    (serial / incremental / parallel) and backend, print the Table 4/5-style
+    rows and optionally export every frontier algorithm.
+``repro export``
+    Emit a cached (or plan-bundled) algorithm as XML or a plan.
+``repro import``
+    Parse an XML/plan file, re-verify it against the collective spec, and
+    optionally store it into the cache.
+``repro cache ls|show|verify|evict|clear``
+    Inspect and manage the persistent cache, including the roadmap's
+    LRU size-limit eviction (``cache evict --max-entries N``).
+
+Every subcommand exits 0 on success and 1 on failure, printing errors to
+stderr; ``repro synthesize`` additionally exits 1 when the candidate is
+UNSAT/UNKNOWN so shell pipelines can branch on satisfiability.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .topologies import TOPOLOGY_HELP, TopologySpecError, parse_topology
+
+
+class CliError(Exception):
+    """Raised for user-facing command failures (printed, exit code 1)."""
+
+
+# ----------------------------------------------------------------------
+# Shared option groups
+# ----------------------------------------------------------------------
+def _add_topology_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-t", "--topology", required=True, help=TOPOLOGY_HELP)
+
+
+def _add_cache_options(
+    parser: argparse.ArgumentParser, *, allow_disable: bool = False
+) -> None:
+    group = parser.add_argument_group("cache")
+    group.add_argument(
+        "--cache-dir",
+        default=None,
+        help="algorithm cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-sccl/algorithms)",
+    )
+    if allow_disable:
+        # Only commands where the cache is an optimization (not the object
+        # being operated on) get --no-cache; export/import/cache subcommands
+        # would silently contradict it.
+        group.add_argument(
+            "--no-cache", action="store_true", help="bypass the algorithm cache entirely"
+        )
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("engine")
+    group.add_argument("--backend", default=None, help="solver backend name (default: cdcl)")
+    group.add_argument(
+        "--time-limit", type=float, default=None, metavar="S",
+        help="per-solve wall-clock limit in seconds (exceeded -> unknown)",
+    )
+    group.add_argument(
+        "--conflict-limit", type=int, default=None, metavar="N",
+        help="per-solve conflict budget (exceeded -> unknown)",
+    )
+
+
+def _resolve_cache(args):
+    from ..engine.cache import AlgorithmCache, default_cache_dir
+
+    if getattr(args, "no_cache", False):
+        return None
+    directory = args.cache_dir if args.cache_dir else default_cache_dir()
+    return AlgorithmCache(directory)
+
+
+def _require_cache(args):
+    """Cache commands operate on a directory even when it does not exist yet."""
+    from ..engine.cache import AlgorithmCache, default_cache_dir
+
+    directory = args.cache_dir if args.cache_dir else default_cache_dir()
+    return AlgorithmCache(directory)
+
+
+def _topology(args):
+    try:
+        return parse_topology(args.topology)
+    except TopologySpecError as exc:
+        raise CliError(str(exc)) from exc
+
+
+# ----------------------------------------------------------------------
+# repro synthesize
+# ----------------------------------------------------------------------
+def _cmd_synthesize(args) -> int:
+    from ..core import make_instance, synthesize
+
+    topology = _topology(args)
+    try:
+        instance = make_instance(
+            args.collective, topology, args.chunks, args.steps, args.rounds,
+            root=args.root,
+        )
+    except Exception as exc:
+        raise CliError(str(exc)) from exc
+
+    cache = _resolve_cache(args)
+    result = synthesize(
+        instance,
+        time_limit=args.time_limit,
+        conflict_limit=args.conflict_limit,
+        backend=args.backend,
+        cache=cache,
+        name=args.name,
+    )
+    print(result.summary())
+    if result.algorithm is not None:
+        if not args.quiet:
+            print()
+            print(result.algorithm.describe())
+        _export_algorithm(result, args)
+        return 0
+    return 1
+
+
+def _export_algorithm(result, args) -> None:
+    algorithm = result.algorithm
+    if getattr(args, "xml", None):
+        from ..interchange import write_msccl_xml
+
+        path = write_msccl_xml(algorithm, args.xml)
+        print(f"wrote MSCCL-style XML to {path}")
+    if getattr(args, "plan", None):
+        from ..interchange import plan_from_result, write_plan
+
+        path = write_plan(plan_from_result(result), args.plan)
+        print(f"wrote plan bundle to {path}")
+
+
+# ----------------------------------------------------------------------
+# repro pareto
+# ----------------------------------------------------------------------
+def _cmd_pareto(args) -> int:
+    from ..core import pareto_synthesize
+    from ..evaluation import export_frontier_algorithms, format_table
+
+    topology = _topology(args)
+    cache = _resolve_cache(args)
+    try:
+        frontier = pareto_synthesize(
+            args.collective,
+            topology,
+            args.k,
+            root=args.root,
+            max_steps=args.max_steps,
+            max_chunks=args.max_chunks,
+            time_limit_per_instance=args.time_limit,
+            conflict_limit=args.conflict_limit,
+            strategy=args.strategy,
+            max_workers=args.max_workers,
+            backend=args.backend,
+            cache=cache,
+        )
+    except Exception as exc:
+        raise CliError(str(exc)) from exc
+
+    title = (
+        f"{frontier.collective} on {frontier.topology_name} "
+        f"(k={frontier.k}, strategy={frontier.strategy}, backend={frontier.backend})"
+    )
+    rows = frontier.table_rows()
+    if rows:
+        print(format_table(rows, title=title))
+    else:
+        print(f"{title}: no satisfiable candidates found")
+    print(
+        f"total {frontier.total_time:.2f}s, engine {frontier.engine_stats}"
+        + (" [step budget exhausted]" if frontier.exhausted_steps else "")
+    )
+    if args.export_dir:
+        written = export_frontier_algorithms(
+            frontier, args.export_dir, formats=(args.export_format,)
+        )
+        print(f"exported {len(written)} file(s) to {args.export_dir}")
+    return 0 if rows else 1
+
+
+# ----------------------------------------------------------------------
+# repro export
+# ----------------------------------------------------------------------
+def _cmd_export(args) -> int:
+    from ..interchange import (
+        plan_from_algorithm,
+        read_plan,
+        to_msccl_xml,
+        write_plan,
+    )
+
+    if args.plan_input:
+        plan = read_plan(args.plan_input)
+        algorithm = plan.algorithm
+        provenance = dict(plan.provenance)
+    else:
+        if not args.topology:
+            raise CliError("--topology is required unless exporting from --plan-input")
+        topology = _topology(args)
+        cache = _require_cache(args)
+        algorithm = cache.load_algorithm(
+            args.collective, topology, args.chunks, args.steps, args.rounds,
+            root=args.root,
+        )
+        if algorithm is None:
+            raise CliError(
+                f"no cached algorithm for {args.collective} on {topology.name} "
+                f"(C={args.chunks}, S={args.steps}, R={args.rounds}); run "
+                f"`repro synthesize` first"
+            )
+        provenance = {}
+
+    if args.format == "xml":
+        payload = to_msccl_xml(algorithm)
+    else:
+        plan = plan_from_algorithm(algorithm, provenance=provenance or None)
+        payload = plan.dumps()
+
+    if args.output:
+        Path(args.output).write_text(payload, encoding="utf-8")
+        print(f"wrote {args.format} to {args.output}")
+    else:
+        sys.stdout.write(payload)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro import
+# ----------------------------------------------------------------------
+def _cmd_import(args) -> int:
+    from ..interchange import read_msccl_xml, read_plan
+
+    path = Path(args.file)
+    if not path.exists():
+        raise CliError(f"no such file: {path}")
+    fmt = args.format
+    if fmt == "auto":
+        fmt = "plan" if path.suffix.lower() == ".json" else "xml"
+
+    topology = None
+    if args.topology:
+        topology = _topology(args)
+    if fmt == "xml":
+        algorithm = read_msccl_xml(path, topology=topology)
+    else:
+        plan = read_plan(path)
+        if topology is not None and not plan.matches_topology(topology):
+            raise CliError(
+                f"plan was synthesized for a topology structurally different "
+                f"from {args.topology!r} (fingerprint mismatch)"
+            )
+        algorithm = plan.algorithm
+
+    print(f"imported and re-verified {algorithm.name!r} from {path}")
+    if not args.quiet:
+        print()
+        print(algorithm.describe())
+    if args.store:
+        _store_imported(algorithm, args)
+    return 0
+
+
+def _store_imported(algorithm, args) -> None:
+    from ..core.instance import InstanceError, make_instance
+    from ..core.synthesizer import SynthesisResult
+    from ..engine.cache import store_result
+    from ..interchange import infer_root
+    from ..solver import SolveResult
+
+    cache = _require_cache(args)
+    try:
+        instance = make_instance(
+            algorithm.collective,
+            algorithm.topology,
+            algorithm.chunks_per_node,
+            algorithm.num_steps,
+            algorithm.total_rounds,
+            root=infer_root(algorithm),
+        )
+    except InstanceError as exc:
+        raise CliError(
+            f"cannot store {algorithm.collective} into the cache: {exc} "
+            f"(store the non-combining base algorithm instead)"
+        ) from exc
+    result = SynthesisResult(
+        instance=instance,
+        status=SolveResult.SAT,
+        algorithm=algorithm,
+        backend=str(algorithm.metadata.get("imported_from", "import")),
+    )
+    if store_result(cache, result):
+        print(f"stored into cache at {cache.root}")
+    else:
+        raise CliError(f"cache at {cache.root} is not writable")
+
+
+# ----------------------------------------------------------------------
+# repro cache ...
+# ----------------------------------------------------------------------
+def _cmd_cache_ls(args) -> int:
+    cache = _require_cache(args)
+    entries = cache.entries()
+    unreadable = len(cache.entry_paths()) - len(entries)
+    if not entries and not unreadable:
+        print(f"cache at {cache.root}: empty")
+        return 0
+    now = time.time()
+    note = f" ({unreadable} unreadable; see `repro cache verify`)" if unreadable else ""
+    print(
+        f"cache at {cache.root}: {len(entries)} entries, "
+        f"{cache.total_bytes()} bytes{note}"
+    )
+    header = f"{'key':<14} {'status':<7} {'backend':<8} {'age':>8} {'size':>8}  instance"
+    print(header)
+    print("-" * len(header))
+    for path, entry in entries:
+        try:
+            stat = path.stat()
+            age, size = _format_age(now - stat.st_mtime), stat.st_size
+        except OSError:
+            age, size = "?", 0
+        key = entry.key if args.keys else entry.key[:12] + ".."
+        print(
+            f"{key:<14} {entry.status:<7} {entry.backend:<8} {age:>8} {size:>8}  "
+            f"{entry.describe_instance()}"
+        )
+    return 0
+
+
+def _format_age(seconds: float) -> str:
+    seconds = max(0.0, seconds)
+    for unit, width in (("d", 86400.0), ("h", 3600.0), ("m", 60.0)):
+        if seconds >= width:
+            return f"{seconds / width:.1f}{unit}"
+    return f"{seconds:.0f}s"
+
+
+def _find_entry(cache, key_prefix: str):
+    matches = [
+        (path, entry) for path, entry in cache.entries()
+        if entry.key.startswith(key_prefix)
+    ]
+    if not matches:
+        raise CliError(f"no cache entry matches key prefix {key_prefix!r}")
+    if len(matches) > 1:
+        raise CliError(
+            f"key prefix {key_prefix!r} is ambiguous ({len(matches)} matches); "
+            f"use more characters"
+        )
+    return matches[0]
+
+
+def _cmd_cache_show(args) -> int:
+    from ..core.algorithm import Algorithm
+
+    cache = _require_cache(args)
+    path, entry = _find_entry(cache, args.key)
+    print(f"key:      {entry.key}")
+    print(f"path:     {path}")
+    print(f"status:   {entry.status}")
+    print(f"backend:  {entry.backend}")
+    print(f"instance: {entry.describe_instance()}")
+    print(f"solve:    {entry.solve_time:.2f}s")
+    if args.json:
+        print(json.dumps(entry.to_json(), indent=2, sort_keys=True))
+    elif entry.algorithm is not None:
+        print()
+        print(Algorithm.from_dict(entry.algorithm).describe())
+    return 0
+
+
+def _cmd_cache_verify(args) -> int:
+    from ..core.algorithm import Algorithm
+    from ..engine.cache import CacheEntry
+
+    cache = _require_cache(args)
+    ok, bad = 0, []
+    # Walk the raw files, not entries(): unreadable files (crashed writers,
+    # hand edits) must be reported as invalid, not silently skipped.
+    for path in cache.entry_paths():
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = CacheEntry.from_json(json.load(handle))
+            if entry.status == "sat" and entry.algorithm is not None:
+                Algorithm.from_dict(entry.algorithm).verify()
+            # UNSAT entries carry no schedule to check.
+            ok += 1
+        except Exception as exc:
+            bad.append((path, exc))
+    print(f"{ok} entries verified, {len(bad)} invalid")
+    for path, exc in bad:
+        print(f"  {path.stem[:12]}..: {exc}")
+        if args.drop:
+            try:
+                path.unlink()
+                print("    dropped")
+            except OSError as unlink_exc:
+                print(f"    could not drop: {unlink_exc}")
+    return 0 if not bad or args.drop else 1
+
+
+def _cmd_cache_evict(args) -> int:
+    cache = _require_cache(args)
+    if args.max_entries is None and args.max_bytes is None and args.max_age_days is None:
+        raise CliError(
+            "nothing to do: pass --max-entries, --max-bytes and/or --max-age-days"
+        )
+    before = len(cache)
+    evicted = cache.evict(
+        max_entries=args.max_entries,
+        max_bytes=args.max_bytes,
+        max_age_s=None if args.max_age_days is None else args.max_age_days * 86400.0,
+    )
+    print(f"evicted {len(evicted)} of {before} entries ({len(cache)} remain)")
+    if args.verbose:
+        for key in evicted:
+            print(f"  {key}")
+    return 0
+
+
+def _cmd_cache_clear(args) -> int:
+    cache = _require_cache(args)
+    count = len(cache)
+    cache.clear()
+    print(f"cleared {count} entries from {cache.root}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser assembly
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    from ..engine.backends import available_backends
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SCCL reproduction toolchain: synthesize, inspect and "
+        "export collective algorithms.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=_version_string()
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # synthesize -------------------------------------------------------
+    synth = subparsers.add_parser(
+        "synthesize", help="solve one (collective, topology, C, S, R) candidate"
+    )
+    synth.add_argument("collective", help="collective name (e.g. Allgather)")
+    _add_topology_option(synth)
+    synth.add_argument("-C", "--chunks", type=int, required=True, help="chunks per node")
+    synth.add_argument("-S", "--steps", type=int, required=True, help="step count")
+    synth.add_argument("-R", "--rounds", type=int, required=True, help="total rounds")
+    synth.add_argument("--root", type=int, default=0, help="root node for rooted collectives")
+    synth.add_argument("--name", default=None, help="name for the synthesized algorithm")
+    synth.add_argument("--xml", default=None, metavar="FILE", help="export MSCCL-style XML")
+    synth.add_argument("--plan", default=None, metavar="FILE", help="export a plan bundle")
+    synth.add_argument("-q", "--quiet", action="store_true", help="omit the schedule dump")
+    _add_engine_options(synth)
+    _add_cache_options(synth, allow_disable=True)
+    synth.set_defaults(func=_cmd_synthesize)
+
+    # pareto -----------------------------------------------------------
+    pareto = subparsers.add_parser(
+        "pareto", help="run Pareto-Synthesize (Algorithm 1) for a collective"
+    )
+    pareto.add_argument("collective")
+    _add_topology_option(pareto)
+    pareto.add_argument("-k", type=int, default=0, help="synchrony budget (default 0)")
+    pareto.add_argument("--root", type=int, default=0)
+    pareto.add_argument("--max-steps", type=int, default=None)
+    pareto.add_argument("--max-chunks", type=int, default=None)
+    pareto.add_argument(
+        "--strategy", choices=("serial", "incremental", "parallel"),
+        default="incremental", help="candidate-sweep strategy (default incremental)",
+    )
+    pareto.add_argument("--max-workers", type=int, default=None,
+                        help="worker processes for --strategy parallel")
+    pareto.add_argument("--export-dir", default=None,
+                        help="write every frontier algorithm into this directory")
+    pareto.add_argument("--export-format", choices=("xml", "plan", "both"), default="xml")
+    _add_engine_options(pareto)
+    _add_cache_options(pareto, allow_disable=True)
+    pareto.set_defaults(func=_cmd_pareto)
+
+    # export -----------------------------------------------------------
+    export = subparsers.add_parser(
+        "export", help="emit a cached or bundled algorithm as XML or a plan"
+    )
+    export.add_argument("collective", nargs="?", default=None)
+    export.add_argument("-t", "--topology", default=None, help=TOPOLOGY_HELP)
+    export.add_argument("-C", "--chunks", type=int, default=None)
+    export.add_argument("-S", "--steps", type=int, default=None)
+    export.add_argument("-R", "--rounds", type=int, default=None)
+    export.add_argument("--root", type=int, default=0)
+    export.add_argument("--plan-input", default=None, metavar="FILE",
+                        help="export from a plan bundle instead of the cache")
+    export.add_argument("--format", choices=("xml", "plan"), default="xml")
+    export.add_argument("-o", "--output", default=None, metavar="FILE",
+                        help="output file (default: stdout)")
+    _add_cache_options(export)
+    export.set_defaults(func=_cmd_export)
+
+    # import -----------------------------------------------------------
+    import_cmd = subparsers.add_parser(
+        "import", help="parse an XML/plan file, re-verify it against the spec"
+    )
+    import_cmd.add_argument("file", help="XML or plan file to import")
+    import_cmd.add_argument("--format", choices=("auto", "xml", "plan"), default="auto")
+    import_cmd.add_argument("-t", "--topology", default=None,
+                            help=f"override the embedded topology ({TOPOLOGY_HELP})")
+    import_cmd.add_argument("--store", action="store_true",
+                            help="persist the verified algorithm into the cache")
+    import_cmd.add_argument("-q", "--quiet", action="store_true")
+    _add_cache_options(import_cmd)
+    import_cmd.set_defaults(func=_cmd_import)
+
+    # cache ------------------------------------------------------------
+    cache_cmd = subparsers.add_parser("cache", help="inspect and manage the algorithm cache")
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
+
+    ls = cache_sub.add_parser("ls", help="list entries (least-recently-used first)")
+    ls.add_argument("--keys", action="store_true", help="print full keys")
+    _add_cache_options(ls)
+    ls.set_defaults(func=_cmd_cache_ls)
+
+    show = cache_sub.add_parser("show", help="show one entry by key (prefix allowed)")
+    show.add_argument("key")
+    show.add_argument("--json", action="store_true", help="dump the raw entry JSON")
+    _add_cache_options(show)
+    show.set_defaults(func=_cmd_cache_show)
+
+    verify = cache_sub.add_parser("verify", help="re-verify every cached schedule")
+    verify.add_argument("--drop", action="store_true", help="discard invalid entries")
+    _add_cache_options(verify)
+    verify.set_defaults(func=_cmd_cache_verify)
+
+    evict = cache_sub.add_parser(
+        "evict", help="LRU-prune the cache to size/age limits"
+    )
+    evict.add_argument("--max-entries", type=int, default=None, metavar="N")
+    evict.add_argument("--max-bytes", type=int, default=None, metavar="B")
+    evict.add_argument("--max-age-days", type=float, default=None, metavar="D")
+    evict.add_argument("-v", "--verbose", action="store_true", help="print evicted keys")
+    _add_cache_options(evict)
+    evict.set_defaults(func=_cmd_cache_evict)
+
+    clear = cache_sub.add_parser("clear", help="remove every entry")
+    _add_cache_options(clear)
+    clear.set_defaults(func=_cmd_cache_clear)
+
+    # backends ---------------------------------------------------------
+    backends = subparsers.add_parser("backends", help="list registered solver backends")
+    backends.set_defaults(func=lambda args: print("\n".join(available_backends())) or 0)
+
+    return parser
+
+
+def _version_string() -> str:
+    from .. import __version__
+
+    return f"repro-sccl {__version__}"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "export" and not args.plan_input:
+        missing = [
+            flag for flag, value in (
+                ("collective", args.collective),
+                ("--chunks", args.chunks),
+                ("--steps", args.steps),
+                ("--rounds", args.rounds),
+            )
+            if value is None
+        ]
+        if missing:
+            parser.error(
+                f"export needs {', '.join(missing)} (or --plan-input FILE)"
+            )
+    try:
+        return int(args.func(args) or 0)
+    except CliError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
+    except Exception as exc:  # surfaced engine/interchange errors
+        print(f"repro: error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

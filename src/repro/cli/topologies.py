@@ -1,0 +1,86 @@
+"""Topology specs for the command line.
+
+A topology is named by a compact spec string so invocations stay
+one-liners: ``ring:4``, ``fc:8:2`` (8 nodes, bandwidth 2 per link),
+``torus:3x4``, ``dgx1``.  The machines from the paper's evaluation are
+available by name.
+"""
+
+from __future__ import annotations
+
+from ..topology import (
+    Topology,
+    amd_z52,
+    dgx1,
+    fully_connected,
+    hypercube,
+    line,
+    ring,
+    star,
+    torus_2d,
+)
+
+#: Help text shown by every subcommand taking ``--topology``.
+TOPOLOGY_HELP = (
+    "topology spec: ring:N, line:N, star:N, fc:N (fully connected), "
+    "hypercube:D, torus:RxC, dgx1, amd_z52; parameterized specs accept a "
+    "trailing :BW link bandwidth (e.g. ring:8:2)"
+)
+
+
+class TopologySpecError(ValueError):
+    """Raised for malformed topology spec strings."""
+
+
+def parse_topology(spec: str) -> Topology:
+    """Build a :class:`Topology` from a CLI spec string."""
+    parts = [part for part in spec.strip().split(":") if part]
+    if not parts:
+        raise TopologySpecError("empty topology spec")
+    name, args = parts[0].lower(), parts[1:]
+
+    if name in ("dgx1", "dgx-1"):
+        _expect_args(spec, args, 0)
+        return dgx1()
+    if name in ("amd_z52", "amd", "z52"):
+        _expect_args(spec, args, 0)
+        return amd_z52()
+
+    builders = {
+        "ring": ring,
+        "line": line,
+        "star": star,
+        "fc": fully_connected,
+        "fully_connected": fully_connected,
+        "hypercube": hypercube,
+    }
+    if name in builders:
+        if not 1 <= len(args) <= 2:
+            raise TopologySpecError(
+                f"{name} takes a size and an optional bandwidth, got {spec!r}"
+            )
+        size = _int_arg(spec, args[0])
+        bandwidth = _int_arg(spec, args[1]) if len(args) == 2 else 1
+        return builders[name](size, bandwidth)
+    if name == "torus":
+        if not 1 <= len(args) <= 2:
+            raise TopologySpecError(f"torus takes RxC and an optional bandwidth, got {spec!r}")
+        dims = args[0].lower().split("x")
+        if len(dims) != 2:
+            raise TopologySpecError(f"torus size must be RxC (e.g. torus:3x4), got {args[0]!r}")
+        bandwidth = _int_arg(spec, args[1]) if len(args) == 2 else 1
+        return torus_2d(_int_arg(spec, dims[0]), _int_arg(spec, dims[1]), bandwidth)
+
+    raise TopologySpecError(f"unknown topology {name!r} in spec {spec!r} ({TOPOLOGY_HELP})")
+
+
+def _expect_args(spec: str, args: list, count: int) -> None:
+    if len(args) != count:
+        raise TopologySpecError(f"spec {spec!r} takes no parameters")
+
+
+def _int_arg(spec: str, raw: str) -> int:
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise TopologySpecError(f"non-integer parameter {raw!r} in spec {spec!r}") from exc

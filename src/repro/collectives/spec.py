@@ -141,6 +141,50 @@ class CollectiveSpec:
             return builder(num_global, num_nodes, root)
         return builder(num_global, num_nodes)
 
+    def placements(
+        self, num_nodes: int, chunks_per_node: int, root: int = 0
+    ) -> Tuple[Placement, Placement]:
+        """The (pre, post) placements an algorithm for this collective must have.
+
+        For non-combining collectives these are the Table 2 relations.  For
+        combining collectives — which are never encoded directly — they are
+        the placements of the *derived* algorithms built by
+        :mod:`repro.core.combining`:
+
+        * Reduce (inverted Broadcast): every node holds a partial of every
+          chunk (``All``); the root ends with the full reduction (``Root``).
+          ``G = C``.
+        * Reducescatter (inverted Allgather): ``All`` to ``Scattered`` with
+          ``G = P * C``.
+        * Allreduce (Reducescatter ; Allgather): ``All`` to ``All``.  The
+          composition splits each node's buffer into the Allgather's global
+          chunk count, so ``G = C`` under the derived-algorithm convention.
+
+        This is the ground truth the interchange importers re-verify foreign
+        schedules against (:mod:`repro.interchange.checks`).
+        """
+        if not self.combining:
+            return (
+                self.precondition(num_nodes, chunks_per_node, root),
+                self.postcondition(num_nodes, chunks_per_node, root),
+            )
+        if self.name == "Reduce":
+            num_global = chunks_per_node
+            return (
+                relations.all_nodes(num_global, num_nodes),
+                relations.root(num_global, num_nodes, root),
+            )
+        if self.name == "Reducescatter":
+            num_global = num_nodes * chunks_per_node
+            return (
+                relations.all_nodes(num_global, num_nodes),
+                relations.scattered(num_global, num_nodes),
+            )
+        if self.name == "Allreduce":
+            full = relations.all_nodes(chunks_per_node, num_nodes)
+            return (full, full)
+        raise CollectiveError(f"unknown combining collective {self.name!r}")
+
 
 #: All collectives discussed by the paper.  Non-combining ones carry their
 #: Table 2 pre/post relations; combining ones point at the non-combining

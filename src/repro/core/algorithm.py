@@ -391,8 +391,13 @@ class Algorithm:
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
-        """JSON-friendly serialization (used by examples and the CLI)."""
-        return {
+        """JSON-friendly serialization (used by examples and the CLI).
+
+        ``metadata`` is included only when non-empty so that algorithms
+        without provenance keep the byte-identical serialization the cache
+        and the determinism tests rely on.
+        """
+        data = {
             "name": self.name,
             "collective": self.collective,
             "topology": self.topology.to_dict(),
@@ -412,6 +417,9 @@ class Algorithm:
                 for step in self.steps
             ],
         }
+        if self.metadata:
+            data["metadata"] = dict(self.metadata)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Algorithm":
@@ -434,4 +442,5 @@ class Algorithm:
                 for entry in data["steps"]
             ],
             combining=data.get("combining", False),
+            metadata=dict(data.get("metadata", {})),
         )

@@ -16,12 +16,15 @@ from .backends import (
     CdclBackend,
     CdclHandle,
     DEFAULT_BACKEND,
+    DIMACS_SOLVER_CANDIDATES,
+    DimacsSolverBackend,
     PySatBackend,
     SolverBackend,
     SolverHandle,
     available_backends,
     get_backend,
     register_backend,
+    register_dimacs_backends,
     unregister_backend,
 )
 from .cache import (
@@ -59,6 +62,8 @@ __all__ = [
     "CdclBackend",
     "CdclHandle",
     "DEFAULT_BACKEND",
+    "DIMACS_SOLVER_CANDIDATES",
+    "DimacsSolverBackend",
     "DispatchError",
     "IncrementalDispatcher",
     "IncrementalSession",
@@ -82,6 +87,7 @@ __all__ = [
     "lookup_result",
     "make_dispatcher",
     "register_backend",
+    "register_dimacs_backends",
     "store_result",
     "unregister_backend",
 ]

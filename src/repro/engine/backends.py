@@ -9,13 +9,21 @@ the encode/decode layers.
 
 The default backend, ``"cdcl"``, wraps the pure-Python CDCL solver in
 :mod:`repro.solver.sat`.  A ``"pysat"`` backend is registered automatically
-when the optional ``python-sat`` package is importable; the container image
-used for CI does not ship it, so the registration is gated, never required.
+when the optional ``python-sat`` package is importable, and a DIMACS
+subprocess backend is registered for each industrial-strength solver binary
+found on ``PATH`` (``kissat``, ``cadical``); the container image used for CI
+ships neither, so both registrations are gated, never required.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Protocol, Sequence, runtime_checkable
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 from ..solver import CNF, SATSolver, SolveResult
 
@@ -102,9 +110,11 @@ class CdclBackend:
 class PySatBackend:
     """Backend over the optional ``python-sat`` package (if installed).
 
-    Resource limits: python-sat exposes conflict budgets but no wall-clock
-    limit; ``time_limit`` is therefore ignored and such calls can only be
-    bounded by ``conflict_limit``.
+    Resource limits: conflict budgets map onto python-sat's ``conf_budget``;
+    wall-clock limits — which python-sat does not expose natively — are
+    honored with a watchdog timer that calls ``Solver.interrupt()`` when the
+    budget expires, so a ``time_limit`` yields ``UNKNOWN`` instead of being
+    silently ignored.
     """
 
     name = "pysat"
@@ -136,11 +146,28 @@ class _PySatHandle:
         conflict_limit: Optional[int] = None,
         time_limit: Optional[float] = None,
     ) -> SolveResult:
+        if conflict_limit is None and time_limit is None:
+            answer = self._solver.solve(assumptions=list(assumptions))
+            return SolveResult.SAT if answer else SolveResult.UNSAT
         if conflict_limit is not None:
             self._solver.conf_budget(conflict_limit)
-            answer = self._solver.solve_limited(assumptions=list(assumptions))
-        else:
-            answer = self._solver.solve(assumptions=list(assumptions))
+        watchdog: Optional[threading.Timer] = None
+        if time_limit is not None:
+            watchdog = threading.Timer(time_limit, self._solver.interrupt)
+            watchdog.daemon = True
+            watchdog.start()
+        try:
+            answer = self._solver.solve_limited(
+                assumptions=list(assumptions),
+                expect_interrupt=time_limit is not None,
+            )
+        finally:
+            if watchdog is not None:
+                watchdog.cancel()
+                # The timer may have fired between solve_limited returning
+                # and cancel(); always re-arm the handle so the next probe
+                # of an incremental session is not stillborn-UNKNOWN.
+                self._solver.clear_interrupt()
         if answer is None:
             return SolveResult.UNKNOWN
         return SolveResult.SAT if answer else SolveResult.UNSAT
@@ -154,6 +181,179 @@ class _PySatHandle:
 
     def stats(self) -> Dict[str, float]:
         return dict(self._solver.accum_stats() or {})
+
+
+#: Solver families whose native resource-limit flags we know how to drive.
+#: ``{family: (time_flag_template, conflict_flag_template)}`` — ``None``
+#: entries mean the limit is enforced only by the subprocess timeout.
+_DIMACS_LIMIT_FLAGS: Dict[str, Tuple[Optional[str], Optional[str]]] = {
+    "kissat": ("--time={seconds}", "--conflicts={conflicts}"),
+    "cadical": ("-t {seconds}", None),
+}
+
+#: Binaries probed on PATH at import time, in registration order.
+DIMACS_SOLVER_CANDIDATES = ("kissat", "cadical")
+
+
+class DimacsSolverBackend:
+    """Subprocess backend over any DIMACS CNF solver binary.
+
+    The handle writes the loaded formula (plus per-call assumptions as unit
+    clauses) to a temporary ``.cnf`` file and invokes the solver, following
+    SAT-competition conventions: exit code 10 is SAT (with a ``v``-line
+    model), 20 is UNSAT, anything else is UNKNOWN.  Wall-clock limits are
+    enforced twice — via the solver's native flag when the family is known
+    (see ``_DIMACS_LIMIT_FLAGS``) and via the subprocess timeout always —
+    so even a solver that ignores its flag cannot overrun the budget.
+    Conflict budgets are passed through only where the family exposes a
+    flag; requesting one from a family that does not raises
+    :class:`BackendError` rather than silently running unbounded.
+
+    Unlike the in-process backends the subprocess is not incremental: each
+    ``solve`` call pays a fresh file write and process start.  The payoff is
+    raw solver speed on the hard high-chunk-count instances.
+    """
+
+    def __init__(
+        self,
+        executable: str,
+        *,
+        name: Optional[str] = None,
+        extra_args: Sequence[str] = (),
+    ) -> None:
+        self.executable = executable
+        self.name = name or Path(executable).stem
+        self.extra_args = tuple(extra_args)
+
+    def create(self) -> "_DimacsHandle":
+        return _DimacsHandle(self.executable, self.name, self.extra_args)
+
+
+class _DimacsHandle:
+    def __init__(self, executable: str, family: str, extra_args: Tuple[str, ...]) -> None:
+        self._executable = executable
+        self._family = family
+        self._extra_args = extra_args
+        self._cnf: Optional[CNF] = None
+        self._model: Dict[int, bool] = {}
+        self._stats: Dict[str, float] = {"subprocess_calls": 0, "subprocess_time": 0.0}
+
+    def load(self, cnf: CNF) -> bool:
+        self._cnf = cnf
+        return True
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        *,
+        conflict_limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ) -> SolveResult:
+        import time as _time
+
+        if self._cnf is None:
+            raise BackendError("solve() called before load()")
+        self._model = {}
+        command = [self._executable, *self._extra_args]
+        time_flag, conflict_flag = _DIMACS_LIMIT_FLAGS.get(self._family, (None, None))
+        if time_limit is not None and time_flag is not None:
+            command.extend(time_flag.format(seconds=max(1, int(time_limit))).split())
+        if conflict_limit is not None:
+            if conflict_flag is None:
+                # Silently running unbounded would betray the "exceeded ->
+                # unknown" contract; fail fast with an actionable message.
+                raise BackendError(
+                    f"solver family {self._family!r} exposes no conflict-budget "
+                    f"flag; use a time limit instead"
+                )
+            command.extend(conflict_flag.format(conflicts=conflict_limit).split())
+
+        fd, path = tempfile.mkstemp(prefix="repro-", suffix=".cnf")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                # Assumptions become unit clauses of this one-shot formula;
+                # the header counts them so strict parsers accept the file.
+                handle.write(
+                    f"p cnf {self._cnf.num_vars} "
+                    f"{self._cnf.num_clauses + len(assumptions)}\n"
+                )
+                for clause in self._cnf.clauses:
+                    handle.write(" ".join(str(lit) for lit in clause) + " 0\n")
+                for literal in assumptions:
+                    handle.write(f"{literal} 0\n")
+            command.append(path)
+            deadline = None if time_limit is None else time_limit + 5.0
+            start = _time.monotonic()
+            try:
+                completed = subprocess.run(
+                    command,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.DEVNULL,
+                    timeout=deadline,
+                    text=True,
+                )
+            except subprocess.TimeoutExpired:
+                return SolveResult.UNKNOWN
+            except OSError as exc:
+                raise BackendError(
+                    f"cannot run DIMACS solver {self._executable!r}: {exc}"
+                ) from exc
+            finally:
+                self._stats["subprocess_calls"] += 1
+                self._stats["subprocess_time"] += _time.monotonic() - start
+        finally:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+        if completed.returncode == 10:
+            self._model = self._parse_model(completed.stdout)
+            return SolveResult.SAT
+        if completed.returncode == 20:
+            return SolveResult.UNSAT
+        return SolveResult.UNKNOWN
+
+    def _parse_model(self, stdout: str) -> Dict[int, bool]:
+        model: Dict[int, bool] = {}
+        for line in stdout.splitlines():
+            if not line.startswith("v"):
+                continue
+            for token in line[1:].split():
+                literal = int(token)
+                if literal == 0:
+                    continue
+                model[abs(literal)] = literal > 0
+        assert self._cnf is not None
+        for var in range(1, self._cnf.num_vars + 1):
+            model.setdefault(var, False)
+        return model
+
+    def model(self) -> Dict[int, bool]:
+        return dict(self._model)
+
+    def stats(self) -> Dict[str, float]:
+        return dict(self._stats)
+
+
+def register_dimacs_backends(
+    candidates: Sequence[str] = DIMACS_SOLVER_CANDIDATES,
+) -> List[str]:
+    """Register a DIMACS backend per solver binary found on PATH.
+
+    Called once at import time (mirroring the pysat gating); safe to call
+    again after installing a solver.  Returns the names registered.
+    """
+    registered: List[str] = []
+    for name in candidates:
+        if name in _REGISTRY:
+            continue
+        executable = shutil.which(name)
+        if executable is None:
+            continue
+        register_backend(DimacsSolverBackend(executable, name=name))
+        registered.append(name)
+    return registered
 
 
 _REGISTRY: Dict[str, SolverBackend] = {}
@@ -201,3 +401,5 @@ try:  # pragma: no cover - exercised only where python-sat is installed
     register_backend(PySatBackend())
 except ImportError:
     pass
+
+register_dimacs_backends()

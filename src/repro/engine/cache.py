@@ -26,7 +26,7 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core.algorithm import Algorithm
 from ..core.instance import SynCollInstance
@@ -97,7 +97,13 @@ def instance_fingerprint(
 
 @dataclass
 class CacheEntry:
-    """One persisted synthesis outcome."""
+    """One persisted synthesis outcome.
+
+    ``instance`` is an optional human-readable description of the candidate
+    (collective, topology name, C/S/R, root, encoding) written alongside the
+    opaque content hash so that ``repro cache ls`` can say what an entry
+    *is*; entries written before it was introduced simply report unknowns.
+    """
 
     key: str
     status: str                       # "sat" or "unsat"
@@ -105,6 +111,7 @@ class CacheEntry:
     backend: str = "cdcl"
     solve_time: float = 0.0
     created_at: float = 0.0
+    instance: Optional[dict] = None   # descriptive metadata (not part of the key)
 
     def to_json(self) -> dict:
         return {
@@ -115,6 +122,7 @@ class CacheEntry:
             "backend": self.backend,
             "solve_time": self.solve_time,
             "created_at": self.created_at,
+            "instance": self.instance,
         }
 
     @classmethod
@@ -130,7 +138,18 @@ class CacheEntry:
             backend=data.get("backend", "cdcl"),
             solve_time=float(data.get("solve_time", 0.0)),
             created_at=float(data.get("created_at", 0.0)),
+            instance=data.get("instance"),
         )
+
+    def describe_instance(self) -> str:
+        """One-line candidate description for cache listings."""
+        meta = self.instance or {}
+        collective = meta.get("collective", "?")
+        topology = meta.get("topology", "?")
+        c = meta.get("chunks_per_node", "?")
+        s = meta.get("steps", "?")
+        r = meta.get("rounds", "?")
+        return f"{collective} on {topology} C={c} S={s} R={r}"
 
 
 class AlgorithmCache:
@@ -167,6 +186,12 @@ class AlgorithmCache:
             self.misses += 1
             return None
         self.hits += 1
+        # Refresh the file's mtime so LRU eviction sees recently-replayed
+        # entries as hot.  Best effort: a read-only cache still serves hits.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         return entry
 
     def store(self, entry: CacheEntry) -> None:
@@ -204,6 +229,114 @@ class AlgorithmCache:
 
     def stats(self) -> dict:
         return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+
+    # ------------------------------------------------------------------
+    # Inspection / eviction (the roadmap's size limits, driven by the CLI)
+    # ------------------------------------------------------------------
+    def entry_paths(self) -> List[Path]:
+        """All entry files, ordered least-recently-used first.
+
+        Recency is the file mtime (refreshed on every cache hit); ties break
+        on the key so the ordering — and therefore eviction — is
+        deterministic.
+        """
+        if not self.root.exists():
+            return []
+        paths = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            paths.append((mtime, path.stem, path))
+        return [path for (_, _, path) in sorted(paths, key=lambda t: (t[0], t[1]))]
+
+    def entries(self) -> List[Tuple[Path, CacheEntry]]:
+        """All readable entries, least-recently-used first.
+
+        Unreadable or malformed files are skipped (they are invisible to
+        :meth:`lookup` anyway; ``repro cache verify`` reports them).
+        """
+        result: List[Tuple[Path, CacheEntry]] = []
+        for path in self.entry_paths():
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    entry = CacheEntry.from_json(json.load(handle))
+            except (OSError, ValueError, KeyError, CacheError):
+                continue
+            result.append((path, entry))
+        return result
+
+    def total_bytes(self) -> int:
+        total = 0
+        for path in self.entry_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def evict(
+        self,
+        *,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> List[str]:
+        """Prune the cache to the given limits; returns the evicted keys.
+
+        Eviction is LRU: entries are removed least-recently-used first until
+        every supplied limit holds.  ``max_age_s`` drops entries whose last
+        use is older than the horizon regardless of the other limits.  With
+        no limits supplied this is a no-op.
+        """
+        if max_entries is not None and max_entries < 0:
+            raise CacheError("max_entries must be non-negative")
+        if max_bytes is not None and max_bytes < 0:
+            raise CacheError("max_bytes must be non-negative")
+        if max_age_s is not None and max_age_s < 0:
+            raise CacheError("max_age_s must be non-negative")
+
+        ordered = self.entry_paths()  # LRU first
+        sizes: Dict[Path, int] = {}
+        mtimes: Dict[Path, float] = {}
+        for path in ordered:
+            try:
+                stat = path.stat()
+            except OSError:
+                sizes[path], mtimes[path] = 0, 0.0
+                continue
+            sizes[path], mtimes[path] = stat.st_size, stat.st_mtime
+
+        now = time.time() if now is None else now
+        survivors = list(ordered)
+        doomed: List[Path] = []
+
+        if max_age_s is not None:
+            horizon = now - max_age_s
+            stale = [p for p in survivors if mtimes[p] < horizon]
+            doomed.extend(stale)
+            survivors = [p for p in survivors if mtimes[p] >= horizon]
+        if max_entries is not None and len(survivors) > max_entries:
+            cut = len(survivors) - max_entries
+            doomed.extend(survivors[:cut])
+            survivors = survivors[cut:]
+        if max_bytes is not None:
+            total = sum(sizes[p] for p in survivors)
+            while survivors and total > max_bytes:
+                victim = survivors.pop(0)
+                total -= sizes[victim]
+                doomed.append(victim)
+
+        evicted: List[str] = []
+        for path in doomed:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            evicted.append(path.stem)
+        return evicted
 
     # ------------------------------------------------------------------
     # Algorithm-level convenience API (used by runtime/ and evaluation/)
@@ -325,6 +458,7 @@ def store_result(
     else:
         return False
     key = instance_fingerprint(result.instance, encoding=encoding, prune=prune)
+    instance = result.instance
     entry = CacheEntry(
         key=key,
         status=status_name,
@@ -332,6 +466,17 @@ def store_result(
         backend=result.backend,
         solve_time=result.solve_time,
         created_at=time.time(),
+        instance={
+            "collective": instance.collective,
+            "topology": instance.topology.name,
+            "num_nodes": instance.topology.num_nodes,
+            "chunks_per_node": instance.chunks_per_node,
+            "steps": instance.steps,
+            "rounds": instance.rounds,
+            "root": instance.root,
+            "encoding": encoding,
+            "prune": prune,
+        },
     )
     try:
         cache.store(entry)

@@ -16,6 +16,7 @@ from .tables import (
     PAPER_TABLE4,
     PAPER_TABLE5,
     SynthesisTableConfig,
+    export_frontier_algorithms,
     render_table,
     synthesis_table,
     table3_rows,
@@ -32,6 +33,7 @@ __all__ = [
     "PAPER_TABLE4",
     "PAPER_TABLE5",
     "SynthesisTableConfig",
+    "export_frontier_algorithms",
     "figure4_allgather_dgx1",
     "figure5_allreduce_dgx1",
     "figure6_allgather_amd",

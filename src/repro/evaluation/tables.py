@@ -81,6 +81,8 @@ class SynthesisTableConfig:
     max_workers: Optional[int] = None    # worker processes for strategy="parallel"
     backend: Optional[str] = None        # solver backend name
     cache_dir: Optional[str] = None      # algorithm-cache directory (None disables)
+    export_dir: Optional[str] = None     # write each point's algorithm here (None disables)
+    export_format: str = "xml"           # "xml", "plan" or "both"
 
 
 def _frontier_rows(frontier: ParetoFrontier, k: int) -> List[Dict[str, object]]:
@@ -103,6 +105,53 @@ def _frontier_rows(frontier: ParetoFrontier, k: int) -> List[Dict[str, object]]:
             }
         )
     return rows
+
+
+def export_frontier_algorithms(
+    frontier: ParetoFrontier,
+    export_dir,
+    *,
+    formats: Sequence[str] = ("xml",),
+) -> List[str]:
+    """Write every SAT frontier point to ``export_dir`` as XML and/or plans.
+
+    ``formats`` may contain ``"xml"``, ``"plan"`` or the shorthand
+    ``"both"``.  File names are derived from the point signature
+    (``allgather_dgx1_c6_s3_r7.xml``), so re-running a table overwrites
+    rather than accumulates.  Returns the file names written.  This is the
+    toolchain hook behind both ``SynthesisTableConfig.export_dir`` and the
+    CLI's ``repro pareto --export-dir``.
+    """
+    from pathlib import Path
+
+    from ..interchange import plan_from_algorithm, to_msccl_xml, write_plan
+
+    if "both" in formats:
+        formats = ("xml", "plan")
+    for fmt in formats:
+        if fmt not in ("xml", "plan"):
+            raise ValueError(
+                f"unknown export format {fmt!r} (expected 'xml', 'plan' or 'both')"
+            )
+    directory = Path(export_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[str] = []
+    for point in frontier.points:
+        if point.algorithm is None:
+            continue
+        stem = (
+            f"{point.collective.lower()}_{frontier.topology_name}"
+            f"_c{point.chunks_per_node}_s{point.steps}_r{point.rounds}"
+        )
+        if "xml" in formats:
+            (directory / f"{stem}.xml").write_text(
+                to_msccl_xml(point.algorithm), encoding="utf-8"
+            )
+            written.append(f"{stem}.xml")
+        if "plan" in formats:
+            write_plan(plan_from_algorithm(point.algorithm), directory / f"{stem}.json")
+            written.append(f"{stem}.json")
+    return written
 
 
 def synthesis_table(
@@ -140,6 +189,10 @@ def synthesis_table(
             backend=config.backend,
             cache=cache,
         )
+        if config.export_dir is not None:
+            export_frontier_algorithms(
+                frontier, config.export_dir, formats=(config.export_format,)
+            )
         for row in _frontier_rows(frontier, k):
             key = (row["collective"], row["C"], row["S"], row["R"])
             if key in seen:

@@ -1,0 +1,57 @@
+"""Interchange formats: MSCCL-style XML and JSON plan bundles.
+
+The synthesis engine's end product is a deployable collective algorithm,
+not a SAT model.  This package is the stable, tool-consumable boundary
+around :class:`~repro.core.algorithm.Algorithm`:
+
+``repro.interchange.msccl_xml``
+    Emit / parse MSCCL-style XML — per-GPU threadblocks whose steps are the
+    send / recv / recv-reduce operations derived via
+    :mod:`repro.runtime.lowering`.
+``repro.interchange.plan``
+    JSON bundles pairing an algorithm with its structural topology
+    fingerprint, a cost summary and synthesis provenance.
+``repro.interchange.checks``
+    The trust boundary: every import rebuilds the pre/post placements from
+    the collective specification (:mod:`repro.collectives.relations`) and
+    re-verifies the schedule, so foreign files cannot inject invalid
+    schedules.
+"""
+
+from .checks import InterchangeError, infer_root, verify_against_spec
+from .msccl_xml import (
+    XML_FORMAT_VERSION,
+    from_msccl_xml,
+    read_msccl_xml,
+    to_msccl_xml,
+    write_msccl_xml,
+)
+from .plan import (
+    PLAN_FORMAT,
+    PLAN_VERSION,
+    AlgorithmPlan,
+    plan_from_algorithm,
+    plan_from_result,
+    read_plan,
+    topology_fingerprint,
+    write_plan,
+)
+
+__all__ = [
+    "AlgorithmPlan",
+    "InterchangeError",
+    "PLAN_FORMAT",
+    "PLAN_VERSION",
+    "XML_FORMAT_VERSION",
+    "from_msccl_xml",
+    "infer_root",
+    "plan_from_algorithm",
+    "plan_from_result",
+    "read_msccl_xml",
+    "read_plan",
+    "to_msccl_xml",
+    "topology_fingerprint",
+    "verify_against_spec",
+    "write_msccl_xml",
+    "write_plan",
+]

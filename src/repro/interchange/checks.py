@@ -1,0 +1,100 @@
+"""Spec re-verification for imported algorithms.
+
+Interchange files (MSCCL-style XML, plan bundles) cross a trust boundary:
+they may come from another tool, another machine, or a hand edit.  Before an
+imported schedule is allowed to become an :class:`~repro.core.algorithm.Algorithm`
+that the runtime will lower and execute, it is re-verified against the
+*collective specification* — the pre/post placements are rebuilt from the
+Table 1 relations via :meth:`repro.collectives.CollectiveSpec.placements`
+rather than trusted from the file, and the schedule is run through the full
+run-semantics / bandwidth / postcondition check.  A foreign file can
+therefore rename an algorithm but cannot inject an invalid schedule.
+"""
+
+from __future__ import annotations
+
+from ..collectives import CollectiveError, get_collective
+from ..core.algorithm import Algorithm, AlgorithmError
+
+
+class InterchangeError(Exception):
+    """Raised when an interchange payload is malformed or fails re-verification."""
+
+
+def infer_root(algorithm: Algorithm) -> int:
+    """Infer the root node of a rooted collective from its placements.
+
+    Broadcast and Scatter start with everything on the root; Gather ends
+    there; Reduce (combining) folds everything into it.  Non-rooted
+    collectives return 0.
+    """
+    try:
+        spec = get_collective(algorithm.collective)
+    except CollectiveError as exc:
+        raise InterchangeError(str(exc)) from exc
+    if not spec.root_based:
+        return 0
+    if not spec.combining and spec.pre_relation == "Root":
+        nodes = {node for (_, node) in algorithm.precondition}
+    else:  # Gather (Root postcondition) and Reduce (result at the root)
+        nodes = {node for (_, node) in algorithm.postcondition}
+    if len(nodes) != 1:
+        raise InterchangeError(
+            f"{spec.name} placements do not identify a single root "
+            f"(candidates: {sorted(nodes)})"
+        )
+    return nodes.pop()
+
+
+def verify_against_spec(algorithm: Algorithm, *, root: int | None = None) -> int:
+    """Re-verify an imported algorithm against its collective's spec.
+
+    Checks, in order: the collective is a known Table 2 primitive, the
+    chunk counts are consistent, the pre/post placements equal the relations
+    the spec prescribes (rebuilt locally — never trusted from the file), and
+    the schedule passes full :meth:`Algorithm.verify`.  Returns the root
+    node.  Raises :class:`InterchangeError` on any violation.
+    """
+    try:
+        spec = get_collective(algorithm.collective)
+    except CollectiveError as exc:
+        raise InterchangeError(str(exc)) from exc
+    num_nodes = algorithm.topology.num_nodes
+    if root is None:
+        root = infer_root(algorithm)
+    if not 0 <= root < num_nodes:
+        raise InterchangeError(f"root {root} out of range [0, {num_nodes})")
+    try:
+        expected_pre, expected_post = spec.placements(
+            num_nodes, algorithm.chunks_per_node, root=root
+        )
+    except CollectiveError as exc:
+        raise InterchangeError(str(exc)) from exc
+
+    expected_chunks = len({chunk for (chunk, _) in expected_pre})
+    if algorithm.num_chunks != expected_chunks:
+        raise InterchangeError(
+            f"{spec.name} with C={algorithm.chunks_per_node} on {num_nodes} nodes "
+            f"implies G={expected_chunks} global chunks, file declares "
+            f"{algorithm.num_chunks}"
+        )
+    if algorithm.combining != spec.combining:
+        raise InterchangeError(
+            f"{spec.name} is {'a combining' if spec.combining else 'a non-combining'} "
+            f"collective but the file marks the schedule otherwise"
+        )
+    if frozenset(algorithm.precondition) != expected_pre:
+        raise InterchangeError(
+            f"precondition does not match the {spec.name} specification "
+            f"({spec.pre_relation or 'derived'} relation)"
+        )
+    if frozenset(algorithm.postcondition) != expected_post:
+        raise InterchangeError(
+            f"postcondition does not match the {spec.name} specification "
+            f"({spec.post_relation or 'derived'} relation)"
+        )
+    try:
+        algorithm.verify()
+    except AlgorithmError as exc:
+        raise InterchangeError(f"schedule fails verification: {exc}") from exc
+    return root

@@ -1,0 +1,397 @@
+"""MSCCL-style XML interchange for synthesized algorithms.
+
+The real SCCL/MSCCL toolchain ships synthesized schedules to the GPU runtime
+as an XML document: one ``<algo>`` element with per-``<gpu>`` threadblocks
+(``<tb>``) whose ``<step>`` children are send / recv / recv-reduce
+operations.  This module emits and parses that shape for
+:class:`~repro.core.algorithm.Algorithm`:
+
+* :func:`to_msccl_xml` lowers the algorithm through
+  :func:`repro.runtime.lowering.lower` (so the emitted ops are exactly the
+  per-rank SEND / RECV / RECV_REDUCE instructions the runtime would execute)
+  and assigns one threadblock per communicating peer.
+* :func:`from_msccl_xml` parses a document back into an ``Algorithm``,
+  cross-checks every send against a matching receive, rebuilds the pre/post
+  placements from the collective specification
+  (:mod:`repro.interchange.checks` — the file's placements are never
+  trusted) and re-verifies the schedule before returning it.
+
+Two extension elements make the documents self-contained where MSCCL relies
+on out-of-band context: ``<topology>`` embeds the bandwidth relation and
+``<schedule>`` records the per-step round counts (MSCCL has no notion of
+the paper's k-synchronous rounds).  Step attributes follow MSCCL
+conventions: ``type`` is ``s`` (send), ``r`` (recv) or ``rrc``
+(recv-reduce), offsets are chunk ids, ``srcbuf``/``dstbuf`` are ``i``
+(input) or ``o`` (output), and the dependency attributes are emitted in
+their flag-synchronized defaults.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..collectives import CollectiveError, get_collective
+from ..core.algorithm import Algorithm, Send, Step
+from ..topology import BandwidthConstraint, Topology
+from .checks import InterchangeError, infer_root, verify_against_spec
+
+#: Version of the XML dialect emitted by this module.
+XML_FORMAT_VERSION = 1
+
+_SEND_TYPE = "s"
+_RECV_TYPES = {"r": "copy", "rrc": "reduce"}
+
+
+# ----------------------------------------------------------------------
+# Emission
+# ----------------------------------------------------------------------
+def to_msccl_xml(
+    algorithm: Algorithm,
+    *,
+    protocol: str = "single_kernel_push",
+    name: Optional[str] = None,
+) -> str:
+    """Serialize an algorithm as an MSCCL-style XML document.
+
+    The algorithm is lowered first (which verifies it), so an invalid
+    schedule can never be emitted.
+    """
+    from ..runtime.lowering import lower
+
+    spec = get_collective(algorithm.collective)
+    root_node = infer_root(algorithm)
+    program = lower(algorithm, protocol=protocol)
+
+    algo = ET.Element(
+        "algo",
+        {
+            "name": name or algorithm.name,
+            "coll": spec.name.lower(),
+            "proto": "Simple",
+            "protocol": protocol,
+            "nchannels": "1",
+            "ngpus": str(algorithm.topology.num_nodes),
+            "nchunksperloop": str(algorithm.num_chunks),
+            "chunks_per_node": str(algorithm.chunks_per_node),
+            "nsteps": str(algorithm.num_steps),
+            "nrounds": str(algorithm.total_rounds),
+            "root": str(root_node),
+            "combining": "1" if algorithm.combining else "0",
+            "version": str(XML_FORMAT_VERSION),
+        },
+    )
+    algo.append(_topology_element(algorithm.topology))
+
+    schedule = ET.SubElement(algo, "schedule")
+    for index, step in enumerate(algorithm.steps):
+        ET.SubElement(schedule, "phase", {"id": str(index), "rounds": str(step.rounds)})
+
+    precondition = algorithm.precondition
+    for gpu in range(algorithm.topology.num_nodes):
+        gpu_el = ET.SubElement(algo, "gpu", {"id": str(gpu)})
+        peers = program.rank(gpu).transfers_by_peer()
+        for tb_id, peer in enumerate(sorted(peers)):
+            sends = peers[peer]["send"]
+            recvs = peers[peer]["recv"]
+            tb_el = ET.SubElement(
+                gpu_el,
+                "tb",
+                {
+                    "id": str(tb_id),
+                    "send": str(peer) if sends else "-1",
+                    "recv": str(peer) if recvs else "-1",
+                    "chan": "0",
+                },
+            )
+            ops: List[Tuple[int, int, int, str, int]] = []
+            # (step, order-within-step: sends first, chunk, type, peer)
+            for instr in sends:
+                ops.append((instr.step, 0, instr.chunk, _SEND_TYPE, peer))
+            for instr in recvs:
+                recv_type = "rrc" if instr.op.value == "recv_reduce" else "r"
+                ops.append((instr.step, 1, instr.chunk, recv_type, peer))
+            ops.sort()
+            for step_index, _, chunk, op_type, op_peer in ops:
+                holder = gpu if op_type == _SEND_TYPE else op_peer
+                ET.SubElement(
+                    tb_el,
+                    "step",
+                    {
+                        "s": str(step_index),
+                        "type": op_type,
+                        "srcbuf": "i" if (chunk, holder) in precondition else "o",
+                        "srcoff": str(chunk),
+                        "dstbuf": "o",
+                        "dstoff": str(chunk),
+                        "cnt": "1",
+                        "depid": "-1",
+                        "deps": "-1",
+                        "hasdep": "0",
+                    },
+                )
+
+    ET.indent(algo, space="  ")
+    return ET.tostring(algo, encoding="unicode") + "\n"
+
+
+def _topology_element(topology: Topology) -> ET.Element:
+    element = ET.Element(
+        "topology",
+        {
+            "name": topology.name,
+            "nodes": str(topology.num_nodes),
+            "alpha": repr(topology.alpha),
+            "beta": repr(topology.beta),
+        },
+    )
+    for constraint in topology.constraints:
+        constraint_el = ET.SubElement(
+            element,
+            "constraint",
+            {"bandwidth": str(constraint.bandwidth), "name": constraint.name},
+        )
+        for (src, dst) in sorted(constraint.links):
+            ET.SubElement(constraint_el, "link", {"src": str(src), "dst": str(dst)})
+    return element
+
+
+def write_msccl_xml(
+    algorithm: Algorithm,
+    path,
+    *,
+    protocol: str = "single_kernel_push",
+    name: Optional[str] = None,
+) -> Path:
+    """Emit an algorithm to ``path``; returns the path written."""
+    destination = Path(path)
+    destination.write_text(
+        to_msccl_xml(algorithm, protocol=protocol, name=name), encoding="utf-8"
+    )
+    return destination
+
+
+# ----------------------------------------------------------------------
+# Import
+# ----------------------------------------------------------------------
+def from_msccl_xml(text: str, *, topology: Optional[Topology] = None) -> Algorithm:
+    """Parse an MSCCL-style XML document into a verified :class:`Algorithm`.
+
+    ``topology`` overrides the embedded ``<topology>`` element (the node
+    count must agree with ``ngpus``).  Every send must have exactly one
+    matching receive on the destination GPU, the placements are rebuilt from
+    the collective specification, and the schedule is re-verified — a
+    foreign document cannot inject an invalid schedule.
+    """
+    try:
+        algo = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise InterchangeError(f"malformed XML: {exc}") from exc
+    if algo.tag != "algo":
+        raise InterchangeError(f"expected an <algo> document, got <{algo.tag}>")
+    version = _int_attr(algo, "version", default=XML_FORMAT_VERSION)
+    if version != XML_FORMAT_VERSION:
+        raise InterchangeError(f"unsupported interchange version {version}")
+
+    coll_name = algo.get("coll", "")
+    try:
+        spec = get_collective(coll_name)
+    except CollectiveError as exc:
+        raise InterchangeError(str(exc)) from exc
+
+    num_gpus = _int_attr(algo, "ngpus")
+    num_chunks = _int_attr(algo, "nchunksperloop")
+    chunks_per_node = _int_attr(algo, "chunks_per_node")
+    num_steps = _int_attr(algo, "nsteps")
+    root = _int_attr(algo, "root", default=0)
+
+    if topology is None:
+        topo_el = algo.find("topology")
+        if topo_el is None:
+            raise InterchangeError(
+                "document embeds no <topology> and none was supplied"
+            )
+        topology = _parse_topology(topo_el)
+    if topology.num_nodes != num_gpus:
+        raise InterchangeError(
+            f"topology has {topology.num_nodes} nodes but the document "
+            f"declares ngpus={num_gpus}"
+        )
+
+    rounds = _parse_schedule(algo, num_steps)
+    declared_rounds = _int_attr(algo, "nrounds", default=sum(rounds))
+    if sum(rounds) != declared_rounds:
+        raise InterchangeError(
+            f"schedule sums to {sum(rounds)} rounds but the document declares "
+            f"nrounds={declared_rounds}"
+        )
+    sends, recvs = _collect_operations(algo, num_gpus, num_chunks, num_steps)
+
+    # Cross-check: every send is received exactly once (and vice versa), and
+    # the receive's type decides the op.  MSCCL files with orphaned steps are
+    # rejected rather than silently repaired.
+    step_sends: List[List[Send]] = [[] for _ in range(num_steps)]
+    for key, send_count in sends.items():
+        recv_op = recvs.pop(key, None)
+        if recv_op is None or send_count != 1:
+            step_index, chunk, src, dst = key
+            raise InterchangeError(
+                f"step {step_index}: send of chunk {chunk} on {src}->{dst} has "
+                f"{'no' if recv_op is None else 'duplicate'} matching receive"
+            )
+        step_index, chunk, src, dst = key
+        step_sends[step_index].append(Send(chunk=chunk, src=src, dst=dst, op=recv_op))
+    if recvs:
+        (step_index, chunk, src, dst) = next(iter(recvs))
+        raise InterchangeError(
+            f"step {step_index}: receive of chunk {chunk} on {src}->{dst} has no "
+            f"matching send"
+        )
+
+    try:
+        expected_pre, expected_post = spec.placements(
+            num_gpus, chunks_per_node, root=root
+        )
+    except CollectiveError as exc:
+        raise InterchangeError(str(exc)) from exc
+
+    algorithm = Algorithm(
+        name=algo.get("name", f"{spec.name.lower()}_imported"),
+        collective=spec.name,
+        topology=topology,
+        chunks_per_node=chunks_per_node,
+        num_chunks=num_chunks,
+        precondition=expected_pre,
+        postcondition=expected_post,
+        steps=[
+            Step(
+                rounds=rounds[index],
+                sends=tuple(
+                    sorted(step_sends[index], key=lambda s: (s.src, s.dst, s.chunk))
+                ),
+            )
+            for index in range(num_steps)
+        ],
+        combining=spec.combining,
+        metadata={"imported_from": "msccl_xml"},
+    )
+    verify_against_spec(algorithm, root=root)
+    return algorithm
+
+
+def read_msccl_xml(path, *, topology: Optional[Topology] = None) -> Algorithm:
+    """Read and verify an algorithm from an XML file."""
+    return from_msccl_xml(Path(path).read_text(encoding="utf-8"), topology=topology)
+
+
+# ----------------------------------------------------------------------
+# Parsing helpers
+# ----------------------------------------------------------------------
+def _int_attr(element: ET.Element, attr: str, default: Optional[int] = None) -> int:
+    raw = element.get(attr)
+    if raw is None:
+        if default is not None:
+            return default
+        raise InterchangeError(f"<{element.tag}> is missing the {attr!r} attribute")
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise InterchangeError(f"<{element.tag} {attr}={raw!r}> is not an integer") from exc
+
+
+def _parse_topology(element: ET.Element) -> Topology:
+    constraints = []
+    for constraint_el in element.findall("constraint"):
+        links = frozenset(
+            (_int_attr(link, "src"), _int_attr(link, "dst"))
+            for link in constraint_el.findall("link")
+        )
+        constraints.append(
+            BandwidthConstraint(
+                links, _int_attr(constraint_el, "bandwidth"), constraint_el.get("name", "")
+            )
+        )
+    try:
+        return Topology(
+            name=element.get("name", "imported"),
+            num_nodes=_int_attr(element, "nodes"),
+            constraints=constraints,
+            alpha=float(element.get("alpha", 5e-6)),
+            beta=float(element.get("beta", 1.0 / 25e9)),
+        )
+    except Exception as exc:
+        raise InterchangeError(f"invalid embedded topology: {exc}") from exc
+
+
+def _parse_schedule(algo: ET.Element, num_steps: int) -> List[int]:
+    schedule = algo.find("schedule")
+    if schedule is None:
+        # MSCCL documents without the extension element: every step is one round.
+        return [1] * num_steps
+    rounds = [0] * num_steps
+    seen: set = set()
+    for phase in schedule.findall("phase"):
+        index = _int_attr(phase, "id")
+        if not 0 <= index < num_steps or index in seen:
+            raise InterchangeError(f"schedule phase id {index} invalid or duplicated")
+        seen.add(index)
+        rounds[index] = _int_attr(phase, "rounds")
+        if rounds[index] < 1:
+            raise InterchangeError(f"schedule phase {index} has rounds < 1")
+    if len(seen) != num_steps:
+        raise InterchangeError(
+            f"schedule covers {len(seen)} of {num_steps} steps"
+        )
+    return rounds
+
+
+def _collect_operations(
+    algo: ET.Element, num_gpus: int, num_chunks: int, num_steps: int
+) -> Tuple[Dict[Tuple[int, int, int, int], int], Dict[Tuple[int, int, int, int], str]]:
+    """Gather (step, chunk, src, dst) send counts and receive ops."""
+    sends: Dict[Tuple[int, int, int, int], int] = {}
+    recvs: Dict[Tuple[int, int, int, int], str] = {}
+    for gpu_el in algo.findall("gpu"):
+        gpu = _int_attr(gpu_el, "id")
+        if not 0 <= gpu < num_gpus:
+            raise InterchangeError(f"gpu id {gpu} out of range [0, {num_gpus})")
+        for tb_el in gpu_el.findall("tb"):
+            send_peer = _int_attr(tb_el, "send", default=-1)
+            recv_peer = _int_attr(tb_el, "recv", default=-1)
+            for step_el in tb_el.findall("step"):
+                step_index = _int_attr(step_el, "s")
+                chunk = _int_attr(step_el, "srcoff")
+                op_type = step_el.get("type", "")
+                if not 0 <= step_index < num_steps:
+                    raise InterchangeError(
+                        f"gpu {gpu}: step index {step_index} out of range"
+                    )
+                if not 0 <= chunk < num_chunks:
+                    raise InterchangeError(
+                        f"gpu {gpu}: chunk {chunk} out of range [0, {num_chunks})"
+                    )
+                if op_type == _SEND_TYPE:
+                    if not 0 <= send_peer < num_gpus:
+                        raise InterchangeError(
+                            f"gpu {gpu}: send step in a threadblock with no send peer"
+                        )
+                    key = (step_index, chunk, gpu, send_peer)
+                    sends[key] = sends.get(key, 0) + 1
+                elif op_type in _RECV_TYPES:
+                    if not 0 <= recv_peer < num_gpus:
+                        raise InterchangeError(
+                            f"gpu {gpu}: recv step in a threadblock with no recv peer"
+                        )
+                    key = (step_index, chunk, recv_peer, gpu)
+                    if key in recvs:
+                        raise InterchangeError(
+                            f"gpu {gpu}: duplicate receive of chunk {chunk} at step "
+                            f"{step_index}"
+                        )
+                    recvs[key] = _RECV_TYPES[op_type]
+                else:
+                    raise InterchangeError(
+                        f"gpu {gpu}: unknown step type {op_type!r}"
+                    )
+    return sends, recvs

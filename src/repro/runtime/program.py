@@ -74,6 +74,24 @@ class RankProgram:
     def receives(self) -> List[Instruction]:
         return [i for i in self.instructions if i.op in (OpCode.RECV, OpCode.RECV_REDUCE)]
 
+    def transfers_by_peer(self) -> Dict[int, Dict[str, List[Instruction]]]:
+        """Data-movement instructions grouped by peer.
+
+        Returns ``{peer: {"send": [...], "recv": [...]}}`` with instructions
+        in program order.  BARRIERs carry no peer and are excluded.  The
+        MSCCL-style XML emitter uses this grouping to assign one threadblock
+        per communicating peer, mirroring how the real MSCCL runtime binds a
+        threadblock to a (send-peer, recv-peer) connection pair.
+        """
+        peers: Dict[int, Dict[str, List[Instruction]]] = {}
+        for instruction in self.instructions:
+            if instruction.op is OpCode.BARRIER:
+                continue
+            bucket = peers.setdefault(instruction.peer, {"send": [], "recv": []})
+            kind = "send" if instruction.op is OpCode.SEND else "recv"
+            bucket[kind].append(instruction)
+        return peers
+
     def __len__(self) -> int:
         return len(self.instructions)
 

@@ -1,0 +1,236 @@
+"""CLI tests: in-process command coverage plus true subprocess smoke tests.
+
+The subprocess tests exercise the ``python -m repro`` entrypoint end to end
+on the quickstart instance (Allgather on the 4-node ring of Figure 2) — the
+same path the CI smoke step runs — so the console entrypoint cannot regress
+silently.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import TopologySpecError, main, parse_topology
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = str(REPO_ROOT / "src")
+
+QUICKSTART = ["Allgather", "-t", "ring:4", "-C", "1", "-S", "2", "-R", "3"]
+
+
+def run_cli(args, cache_dir):
+    """Run the module entrypoint in a real subprocess."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+
+
+class TestTopologySpecs:
+    def test_named_machines(self):
+        assert parse_topology("dgx1").num_nodes == 8
+        assert parse_topology("amd_z52").num_nodes == 8
+
+    def test_parameterized(self):
+        assert parse_topology("ring:6").num_nodes == 6
+        assert parse_topology("fc:4:2").bandwidth_between(0, 1) == 2
+        assert parse_topology("torus:2x3").num_nodes == 6
+        assert parse_topology("hypercube:3").num_nodes == 8
+
+    def test_bad_specs_rejected(self):
+        for spec in ("", "ring", "ring:x", "torus:6", "mesh:4", "dgx1:8"):
+            with pytest.raises(TopologySpecError):
+                parse_topology(spec)
+
+
+class TestInProcess:
+    def test_synthesize_writes_cache_and_exports(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        xml = tmp_path / "ag.xml"
+        plan = tmp_path / "ag.json"
+        code = main(
+            [
+                "synthesize", *QUICKSTART,
+                "--cache-dir", str(cache),
+                "--xml", str(xml), "--plan", str(plan),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sat" in out
+        assert xml.exists() and plan.exists()
+        assert json.loads(plan.read_text())["format"] == "repro-sccl/plan"
+
+        # Warm re-run replays from the cache.
+        assert main(["synthesize", *QUICKSTART, "--cache-dir", str(cache), "-q"]) == 0
+        assert "[cached" in capsys.readouterr().out
+
+    def test_synthesize_unsat_exits_nonzero(self, tmp_path):
+        code = main(
+            [
+                "synthesize", "Allgather", "-t", "ring:4",
+                "-C", "1", "-S", "1", "-R", "1",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 1
+
+    def test_import_roundtrip_and_store(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        xml = tmp_path / "ag.xml"
+        assert main(
+            ["synthesize", *QUICKSTART, "--no-cache", "-q", "--xml", str(xml)]
+        ) == 0
+        assert main(
+            ["import", str(xml), "--store", "--cache-dir", str(cache), "-q"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "re-verified" in out and "stored into cache" in out
+        # The stored entry is servable: export straight from the cache.
+        assert main(
+            [
+                "export", *QUICKSTART,
+                "--cache-dir", str(cache),
+                "--format", "xml", "-o", str(tmp_path / "out.xml"),
+            ]
+        ) == 0
+        assert (tmp_path / "out.xml").read_text().startswith("<algo")
+
+    def test_import_rejects_tampered_file(self, tmp_path, capsys):
+        xml = tmp_path / "ag.xml"
+        assert main(
+            ["synthesize", *QUICKSTART, "--no-cache", "-q", "--xml", str(xml)]
+        ) == 0
+        # Relabeling the copy-only Allgather as a combining collective must
+        # fail spec re-verification (no reduction ever accumulates).
+        xml.write_text(
+            xml.read_text().replace('coll="allgather"', 'coll="reducescatter"')
+        )
+        assert main(["import", str(xml)]) == 1
+        assert "verification" in capsys.readouterr().err
+
+    def test_pareto_exports_frontier(self, tmp_path, capsys):
+        export_dir = tmp_path / "plans"
+        code = main(
+            [
+                "pareto", "Allgather", "-t", "ring:4", "-k", "1",
+                "--max-steps", "3",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--export-dir", str(export_dir),
+                "--export-format", "both",
+            ]
+        )
+        assert code == 0
+        assert "Allgather" in capsys.readouterr().out
+        names = sorted(p.name for p in export_dir.iterdir())
+        assert any(n.endswith(".xml") for n in names)
+        assert any(n.endswith(".json") for n in names)
+
+    def test_cache_evict_prunes_to_n_entries(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        for rounds in ("3", "4", "5"):
+            assert main(
+                [
+                    "synthesize", "Allgather", "-t", "ring:4",
+                    "-C", "1", "-S", "2", "-R", rounds,
+                    "--cache-dir", str(cache), "-q",
+                ]
+            ) == 0
+        # Deterministic recency order for the assertion below.
+        entries = sorted(cache.glob("*/*.json"))
+        for index, path in enumerate(entries):
+            os.utime(path, (2000.0 + index, 2000.0 + index))
+        assert main(["cache", "evict", "--max-entries", "1", "--cache-dir", str(cache)]) == 0
+        assert "evicted 2 of 3" in capsys.readouterr().out
+        assert len(list(cache.glob("*/*.json"))) == 1
+
+    def test_cache_evict_without_limits_errors(self, tmp_path, capsys):
+        assert main(["cache", "evict", "--cache-dir", str(tmp_path / "c")]) == 1
+        assert "nothing to do" in capsys.readouterr().err
+
+    def test_cache_show_verify_clear(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["synthesize", *QUICKSTART, "--cache-dir", str(cache), "-q"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--keys", "--cache-dir", str(cache)]) == 0
+        key = [
+            line.split()[0]
+            for line in capsys.readouterr().out.splitlines()
+            if "Allgather" in line
+        ][0]
+        assert main(["cache", "show", key[:10], "--cache-dir", str(cache)]) == 0
+        assert "Algorithm" in capsys.readouterr().out
+        assert main(["cache", "verify", "--cache-dir", str(cache)]) == 0
+        assert "1 entries verified, 0 invalid" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(cache)]) == 0
+        assert len(list(cache.glob("*/*.json"))) == 0
+
+    def test_unknown_backend_fails_cleanly(self, tmp_path, capsys):
+        assert main(
+            ["synthesize", *QUICKSTART, "--no-cache", "--backend", "z3"]
+        ) == 1
+        assert "backend" in capsys.readouterr().err
+
+
+class TestSubprocessSmoke:
+    """The CI smoke path: the real entrypoint on the quickstart instance."""
+
+    def test_module_entrypoint_synthesize_then_cache_ls(self, tmp_path):
+        cache = tmp_path / "cache"
+        solve = run_cli(["synthesize", *QUICKSTART, "--cache-dir", str(cache)], cache)
+        assert solve.returncode == 0, solve.stderr
+        assert "-> sat" in solve.stdout
+
+        listing = run_cli(["cache", "ls", "--cache-dir", str(cache)], cache)
+        assert listing.returncode == 0, listing.stderr
+        assert "Allgather on ring4 C=1 S=2 R=3" in listing.stdout
+
+    def test_module_entrypoint_help_and_version(self, tmp_path):
+        result = run_cli(["--version"], tmp_path)
+        assert result.returncode == 0
+        assert "repro-sccl" in result.stdout
+
+
+class TestReviewRegressions:
+    """Behaviors pinned after review: corrupt-entry reporting, plan topology
+    checks, and --no-cache only where it is honored."""
+
+    def test_cache_verify_reports_unreadable_files(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["synthesize", *QUICKSTART, "--cache-dir", str(cache), "-q"]) == 0
+        junk = cache / "zz"
+        junk.mkdir()
+        (junk / "deadbeef.json").write_text("garbage{")
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", str(cache)]) == 0
+        assert "1 unreadable" in capsys.readouterr().out
+        assert main(["cache", "verify", "--cache-dir", str(cache)]) == 1
+        assert "1 invalid" in capsys.readouterr().out
+        assert main(["cache", "verify", "--drop", "--cache-dir", str(cache)]) == 0
+        assert not (junk / "deadbeef.json").exists()
+
+    def test_import_plan_checks_topology_fingerprint(self, tmp_path, capsys):
+        plan = tmp_path / "ag.json"
+        assert main(
+            ["synthesize", *QUICKSTART, "--no-cache", "-q", "--plan", str(plan)]
+        ) == 0
+        assert main(["import", str(plan), "-t", "ring:4", "-q"]) == 0
+        assert main(["import", str(plan), "-t", "ring:8", "-q"]) == 1
+        assert "fingerprint" in capsys.readouterr().err
+
+    def test_no_cache_flag_only_on_synthesis_commands(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "ls", "--no-cache", "--cache-dir", str(tmp_path)])
+        with pytest.raises(SystemExit):
+            main(["import", "x.xml", "--no-cache"])

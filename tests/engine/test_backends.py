@@ -106,3 +106,101 @@ class TestCdclHandle:
         # Incremental: assumptions flip the answer without reloading.
         assert handle.solve([-b]) is SolveResult.UNSAT
         assert handle.solve([b]) is SolveResult.SAT
+
+
+FAKE_DIMACS_SOLVER = '''#!/usr/bin/env python3
+"""A SAT-competition-style DIMACS solver wrapping the project's CDCL core."""
+import sys
+sys.path.insert(0, {src!r})
+from repro.solver import CNF, SATSolver, SolveResult
+
+cnf = CNF.from_dimacs(open(sys.argv[-1]).read())
+solver = SATSolver()
+if not solver.add_cnf(cnf):
+    print("s UNSATISFIABLE")
+    sys.exit(20)
+result = solver.solve()
+if result is SolveResult.SAT:
+    print("s SATISFIABLE")
+    lits = [v if val else -v for v, val in sorted(solver.model().items())]
+    print("v " + " ".join(map(str, lits)) + " 0")
+    sys.exit(10)
+print("s UNSATISFIABLE")
+sys.exit(20)
+'''
+
+
+@pytest.fixture
+def fake_dimacs_solver(tmp_path):
+    """An executable DIMACS solver script usable as a subprocess backend."""
+    import os
+    from pathlib import Path
+
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    script = tmp_path / "fakesat"
+    script.write_text(FAKE_DIMACS_SOLVER.format(src=src))
+    script.chmod(0o755)
+    return str(script)
+
+
+class TestDimacsBackend:
+    def test_subprocess_solver_sat_and_unsat(self, fake_dimacs_solver):
+        from repro.engine import DimacsSolverBackend
+
+        register_backend(DimacsSolverBackend(fake_dimacs_solver, name="fakesat"))
+        try:
+            sat = synthesize(
+                make_instance("Allgather", ring(4), 1, 2, 3), backend="fakesat"
+            )
+            assert sat.is_sat and sat.backend == "fakesat"
+            sat.algorithm.verify()
+            assert sat.solver_stats["subprocess_calls"] == 1
+            unsat = synthesize(
+                make_instance("Allgather", ring(4), 1, 1, 1), backend="fakesat"
+            )
+            assert unsat.is_unsat
+        finally:
+            unregister_backend("fakesat")
+
+    def test_assumptions_become_unit_clauses(self, fake_dimacs_solver):
+        from repro.engine import DimacsSolverBackend
+        from repro.solver import CNF
+
+        cnf = CNF()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add_clause([a, b])
+        handle = DimacsSolverBackend(fake_dimacs_solver, name="fakesat2").create()
+        assert handle.load(cnf)
+        assert handle.solve([-a]) is SolveResult.SAT
+        assert handle.model()[b]
+        assert handle.solve([-a, -b]) is SolveResult.UNSAT
+
+    def test_missing_binary_raises_backend_error(self):
+        from repro.engine import DimacsSolverBackend
+        from repro.solver import CNF
+
+        handle = DimacsSolverBackend("/nonexistent/kissat", name="kissat").create()
+        cnf = CNF()
+        cnf.add_clause([cnf.new_var()])
+        handle.load(cnf)
+        with pytest.raises(BackendError, match="cannot run"):
+            handle.solve()
+
+    def test_path_registration_is_gated(self):
+        from repro.engine import register_dimacs_backends
+
+        # The CI container ships neither kissat nor cadical: nothing new is
+        # registered for absent binaries, and the call is idempotent.
+        registered = register_dimacs_backends(("definitely-not-a-solver",))
+        assert registered == []
+
+    def test_conflict_limit_without_native_flag_fails_fast(self, fake_dimacs_solver):
+        from repro.engine import DimacsSolverBackend
+        from repro.solver import CNF
+
+        handle = DimacsSolverBackend(fake_dimacs_solver, name="fakesat3").create()
+        cnf = CNF()
+        cnf.add_clause([cnf.new_var()])
+        handle.load(cnf)
+        with pytest.raises(BackendError, match="conflict-budget"):
+            handle.solve(conflict_limit=100)

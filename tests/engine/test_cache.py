@@ -181,3 +181,84 @@ class TestParallelSharesTheCache:
             "Allgather", ring(4), k=1, max_steps=3, strategy="serial", cache=cache
         )
         assert all(p.cache_hit for p in warm.points)
+
+
+class TestEviction:
+    def fill(self, cache, count=5):
+        """Store `count` solved candidates with strictly increasing mtimes."""
+        import os
+
+        keys = []
+        for rounds in range(3, 3 + count):
+            result = synthesize(
+                make_instance("Allgather", ring(4), 1, 2, rounds), cache=cache
+            )
+            assert result.is_sat
+            key = instance_fingerprint(result.instance)
+            keys.append(key)
+        for index, key in enumerate(keys):
+            path = cache._path(key)
+            os.utime(path, (1000.0 + index, 1000.0 + index))
+        return keys
+
+    def test_evict_to_max_entries_is_lru_and_deterministic(self, cache):
+        keys = self.fill(cache, 5)
+        evicted = cache.evict(max_entries=2)
+        assert evicted == keys[:3]  # oldest first
+        assert len(cache) == 2
+        assert cache.lookup(keys[3]) is not None
+        assert cache.lookup(keys[4]) is not None
+        assert cache.lookup(keys[0]) is None
+
+    def test_hit_refreshes_recency(self, cache):
+        import os
+
+        keys = self.fill(cache, 3)
+        # Touch the oldest entry via a lookup: it must survive eviction.
+        before = cache._path(keys[0]).stat().st_mtime
+        assert cache.lookup(keys[0]) is not None
+        assert cache._path(keys[0]).stat().st_mtime > before
+        evicted = cache.evict(max_entries=1)
+        assert keys[0] not in evicted
+        assert len(cache) == 1
+
+    def test_evict_max_bytes(self, cache):
+        keys = self.fill(cache, 4)
+        target = sum(cache._path(k).stat().st_size for k in keys[2:])
+        evicted = cache.evict(max_bytes=target)
+        assert evicted == keys[:2]
+        assert len(cache) == 2
+
+    def test_evict_max_age(self, cache):
+        keys = self.fill(cache, 4)  # mtimes 1000..1003
+        evicted = cache.evict(max_age_s=10.0, now=1011.5)
+        assert evicted == keys[:2]  # entries last used before now-10=1001.5
+
+    def test_no_limits_is_noop(self, cache):
+        self.fill(cache, 2)
+        assert cache.evict() == []
+        assert len(cache) == 2
+
+    def test_negative_limits_rejected(self, cache):
+        from repro.engine import CacheError
+
+        with pytest.raises(CacheError):
+            cache.evict(max_entries=-1)
+
+    def test_entries_expose_instance_metadata(self, cache):
+        self.fill(cache, 1)
+        ((path, entry),) = cache.entries()
+        assert entry.instance["collective"] == "Allgather"
+        assert entry.instance["topology"] == "ring4"
+        assert entry.instance["rounds"] == 3
+        assert "Allgather on ring4 C=1 S=2 R=3" == entry.describe_instance()
+
+    def test_old_entries_without_metadata_still_list(self, cache):
+        self.fill(cache, 1)
+        ((path, entry),) = cache.entries()
+        data = json.loads(path.read_text())
+        del data["instance"]
+        path.write_text(json.dumps(data))
+        ((_, reloaded),) = cache.entries()
+        assert reloaded.instance is None
+        assert "?" in reloaded.describe_instance()

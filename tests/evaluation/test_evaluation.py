@@ -114,3 +114,38 @@ class TestFigures:
             series={"latency": [2.0, 0.5], "bandwidth": [1.0, 1.5]},
         )
         assert result.crossover_consistent()
+
+
+class TestExportHook:
+    def test_synthesis_table_export_dir_writes_interchange_files(self, tmp_path):
+        from repro.interchange import read_msccl_xml, read_plan
+
+        export_dir = tmp_path / "algorithms"
+        rows = synthesis_table(
+            ring(4),
+            runs=[("Allgather", 1)],
+            config=SynthesisTableConfig(
+                time_limit_per_instance=30.0,
+                export_dir=str(export_dir),
+                export_format="both",
+            ),
+        )
+        assert rows
+        xml_files = sorted(export_dir.glob("*.xml"))
+        plan_files = sorted(export_dir.glob("*.json"))
+        assert xml_files and plan_files
+        # Every exported file re-imports and re-verifies.
+        for path in xml_files:
+            read_msccl_xml(path).verify()
+        for path in plan_files:
+            read_plan(path).algorithm.verify()
+
+    def test_export_frontier_rejects_unknown_format(self, tmp_path):
+        import pytest as _pytest
+
+        from repro.core import pareto_synthesize
+        from repro.evaluation import export_frontier_algorithms
+
+        frontier = pareto_synthesize("Allgather", ring(4), 0, max_steps=2)
+        with _pytest.raises(ValueError, match="format"):
+            export_frontier_algorithms(frontier, tmp_path, formats=("yaml",))

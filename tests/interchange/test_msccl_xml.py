@@ -1,0 +1,176 @@
+"""MSCCL-style XML round-trip and trust-boundary tests.
+
+The acceptance criterion for the interchange layer: emit -> import ->
+re-verify yields an algorithm equal to the original (same signature, same
+rounds, same send sets), and tampered documents are rejected rather than
+silently repaired.
+"""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core import make_instance, synthesize
+from repro.core.combining import synthesize_allreduce, synthesize_reduce
+from repro.interchange import (
+    InterchangeError,
+    from_msccl_xml,
+    read_msccl_xml,
+    to_msccl_xml,
+    write_msccl_xml,
+)
+from repro.topology import dgx1, line, ring
+
+
+def synthesize_allgather(chunks=1, steps=2, rounds=3, nodes=4):
+    result = synthesize(make_instance("Allgather", ring(nodes), chunks, steps, rounds))
+    assert result.is_sat
+    return result.algorithm
+
+
+def assert_schedules_equal(imported, original):
+    assert imported.collective == original.collective
+    assert imported.signature() == original.signature()
+    assert imported.combining == original.combining
+    assert imported.precondition == original.precondition
+    assert imported.postcondition == original.postcondition
+    assert [s.rounds for s in imported.steps] == [s.rounds for s in original.steps]
+    assert [frozenset(s.sends) for s in imported.steps] == [
+        frozenset(s.sends) for s in original.steps
+    ]
+
+
+class TestRoundTrip:
+    def test_allgather_ring(self):
+        original = synthesize_allgather()
+        imported = from_msccl_xml(to_msccl_xml(original))
+        assert_schedules_equal(imported, original)
+
+    def test_imported_algorithm_reverifies(self):
+        imported = from_msccl_xml(to_msccl_xml(synthesize_allgather()))
+        imported.verify()
+
+    def test_broadcast_nonzero_root(self):
+        result = synthesize(
+            make_instance("Broadcast", ring(4), 2, 3, 3, root=2)
+        )
+        assert result.is_sat
+        imported = from_msccl_xml(to_msccl_xml(result.algorithm))
+        assert_schedules_equal(imported, result.algorithm)
+
+    def test_combining_allreduce(self):
+        result = synthesize_allreduce(ring(4), 1, 2, 3)
+        assert result.is_sat
+        imported = from_msccl_xml(to_msccl_xml(result.algorithm))
+        assert_schedules_equal(imported, result.algorithm)
+        assert imported.combining
+        # recv-reduce steps survive the round trip as "rrc"
+        assert 'type="rrc"' in to_msccl_xml(result.algorithm)
+
+    def test_combining_reduce(self):
+        result = synthesize_reduce(line(3), 1, 2, 2, root=1)
+        assert result.is_sat
+        imported = from_msccl_xml(to_msccl_xml(result.algorithm))
+        assert_schedules_equal(imported, result.algorithm)
+
+    def test_reemission_is_stable(self):
+        original = synthesize_allgather()
+        xml = to_msccl_xml(original)
+        assert to_msccl_xml(from_msccl_xml(xml)) == xml
+
+    def test_file_io(self, tmp_path):
+        original = synthesize_allgather()
+        path = write_msccl_xml(original, tmp_path / "algo.xml")
+        assert_schedules_equal(read_msccl_xml(path), original)
+
+    def test_explicit_topology_overrides_embedded(self):
+        original = synthesize_allgather()
+        imported = from_msccl_xml(to_msccl_xml(original), topology=ring(4))
+        assert_schedules_equal(imported, original)
+
+    def test_dgx1_allgather(self):
+        result = synthesize(make_instance("Allgather", dgx1(), 1, 2, 2))
+        assert result.is_sat
+        imported = from_msccl_xml(to_msccl_xml(result.algorithm))
+        assert_schedules_equal(imported, result.algorithm)
+
+
+def mutate(xml: str, fn) -> str:
+    root = ET.fromstring(xml)
+    fn(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+class TestTrustBoundary:
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(InterchangeError, match="malformed"):
+            from_msccl_xml("<algo><gpu></algo>")
+
+    def test_unknown_collective_rejected(self):
+        xml = to_msccl_xml(synthesize_allgather())
+        with pytest.raises(InterchangeError, match="unknown collective"):
+            from_msccl_xml(mutate(xml, lambda a: a.set("coll", "bitonic_sort")))
+
+    def test_orphaned_send_rejected(self):
+        # Drop one recv step: its matching send has no receiver.
+        def drop_one_recv(algo):
+            for gpu in algo.findall("gpu"):
+                for tb in gpu.findall("tb"):
+                    for step in tb.findall("step"):
+                        if step.get("type") == "r":
+                            tb.remove(step)
+                            return
+        xml = to_msccl_xml(synthesize_allgather())
+        with pytest.raises(InterchangeError, match="matching"):
+            from_msccl_xml(mutate(xml, drop_one_recv))
+
+    def test_injected_send_on_missing_link_rejected(self):
+        # Rewire a threadblock to a non-neighbour: ring 0->2 does not exist.
+        def rewire(algo):
+            gpu0 = next(g for g in algo.findall("gpu") if g.get("id") == "0")
+            for tb in gpu0.findall("tb"):
+                if tb.get("send") == "1":
+                    tb.set("send", "2")
+                    # keep the matching recv consistent so the schedule-level
+                    # cross-check passes and verification must catch it
+                    gpu2 = next(g for g in algo.findall("gpu") if g.get("id") == "2")
+                    gpu1 = next(g for g in algo.findall("gpu") if g.get("id") == "1")
+                    for peer_tb in gpu1.findall("tb"):
+                        if peer_tb.get("recv") == "0":
+                            gpu1.remove(peer_tb)
+                            gpu2.append(peer_tb)
+                    return
+        xml = to_msccl_xml(synthesize_allgather())
+        with pytest.raises(InterchangeError):
+            from_msccl_xml(mutate(xml, rewire))
+
+    def test_wrong_chunk_counts_rejected(self):
+        xml = to_msccl_xml(synthesize_allgather())
+        with pytest.raises(InterchangeError, match="G="):
+            from_msccl_xml(mutate(xml, lambda a: a.set("nchunksperloop", "8")))
+
+    def test_schedule_round_tampering_rejected(self):
+        # Editing a phase without updating nrounds breaks self-consistency.
+        def shrink_rounds(algo):
+            phases = algo.find("schedule").findall("phase")
+            phases[-1].set("rounds", "1")
+        xml = to_msccl_xml(synthesize_allgather())  # declares nrounds=3
+        with pytest.raises(InterchangeError, match="nrounds"):
+            from_msccl_xml(mutate(xml, shrink_rounds))
+
+    def test_overloaded_link_rejected(self):
+        # Doubling a send on a unit-bandwidth link must fail the C5 check.
+        def overload(algo):
+            algo.set("nrounds", "2")
+            for phase in algo.find("schedule").findall("phase"):
+                phase.set("rounds", "1")
+        result = synthesize(make_instance("Allgather", ring(4), 2, 2, 4))
+        assert result.is_sat
+        xml = to_msccl_xml(result.algorithm)
+        with pytest.raises(InterchangeError):
+            from_msccl_xml(mutate(xml, overload))
+
+    def test_topology_node_count_mismatch_rejected(self):
+        xml = to_msccl_xml(synthesize_allgather())
+        with pytest.raises(InterchangeError, match="nodes"):
+            from_msccl_xml(xml, topology=ring(6))

@@ -1,0 +1,92 @@
+"""Plan-bundle round-trip, fingerprint and provenance tests."""
+
+import json
+
+import pytest
+
+from repro.core import make_instance, synthesize
+from repro.interchange import (
+    AlgorithmPlan,
+    InterchangeError,
+    plan_from_algorithm,
+    plan_from_result,
+    read_plan,
+    topology_fingerprint,
+    write_plan,
+)
+from repro.topology import dgx1, ring
+
+
+@pytest.fixture(scope="module")
+def allgather_result():
+    result = synthesize(make_instance("Allgather", ring(4), 1, 2, 3))
+    assert result.is_sat
+    return result
+
+
+class TestPlanRoundTrip:
+    def test_json_roundtrip_verifies(self, allgather_result, tmp_path):
+        plan = plan_from_result(allgather_result)
+        path = write_plan(plan, tmp_path / "ag.json")
+        restored = read_plan(path)
+        restored.algorithm.verify()
+        assert restored.algorithm.signature() == allgather_result.algorithm.signature()
+        assert restored.fingerprint == plan.fingerprint
+
+    def test_provenance_carried(self, allgather_result):
+        plan = plan_from_result(allgather_result)
+        data = plan.to_json()
+        restored = AlgorithmPlan.from_json(data)
+        assert restored.provenance["backend"] == allgather_result.backend
+        assert restored.provenance["encoding"] == "sccl"
+        assert restored.provenance["tool"]["name"] == "repro-sccl"
+        assert restored.cost["steps"] == 2
+        assert restored.cost["rounds"] == 3
+        assert restored.cost["bandwidth_cost"] == [3, 1]
+
+    def test_unsat_result_rejected(self):
+        result = synthesize(make_instance("Allgather", ring(4), 1, 1, 1))
+        assert result.is_unsat
+        with pytest.raises(InterchangeError, match="unsat"):
+            plan_from_result(result)
+
+
+class TestFingerprint:
+    def test_structural_not_nominal(self):
+        import dataclasses
+
+        topo = ring(4)
+        renamed = dataclasses.replace(topo, name="other", alpha=1.0)
+        assert topology_fingerprint(topo) == topology_fingerprint(renamed)
+        assert topology_fingerprint(topo) != topology_fingerprint(ring(6))
+        assert topology_fingerprint(topo) != topology_fingerprint(dgx1())
+
+    def test_matches_topology(self, allgather_result):
+        plan = plan_from_result(allgather_result)
+        assert plan.matches_topology(ring(4))
+        assert not plan.matches_topology(ring(6))
+
+
+class TestTamperRejection:
+    def test_tampered_topology_rejected(self, allgather_result):
+        data = plan_from_result(allgather_result).to_json()
+        data["algorithm"]["topology"]["constraints"].pop()
+        with pytest.raises(InterchangeError, match="fingerprint"):
+            AlgorithmPlan.from_json(data)
+
+    def test_tampered_schedule_rejected(self, allgather_result):
+        data = plan_from_result(allgather_result).to_json()
+        data["algorithm"]["steps"][0]["sends"].pop()
+        with pytest.raises(InterchangeError):
+            AlgorithmPlan.from_json(data)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(InterchangeError, match="format"):
+            AlgorithmPlan.from_json({"format": "something-else"})
+
+    def test_truncated_file_rejected(self, allgather_result, tmp_path):
+        plan = plan_from_result(allgather_result)
+        path = write_plan(plan, tmp_path / "ag.json")
+        path.write_text(path.read_text()[:100])
+        with pytest.raises(InterchangeError):
+            read_plan(path)
