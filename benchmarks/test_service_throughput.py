@@ -1,0 +1,156 @@
+"""Planning-service throughput benchmark -> BENCH_service.json.
+
+Measures the serving-layer quantities the ROADMAP's north star cares
+about, on the quickstart instance (Allgather, 4-node ring):
+
+* **cold burst** — 8 concurrent identical requests against an empty
+  registry: exactly one backend solve, the rest coalesced (the PR's
+  acceptance criterion, measured rather than asserted-only);
+* **warm throughput** — a multi-threaded client mix of pinned and routed
+  requests over a hot registry: requests/sec, coalescing ratio and cache
+  hit rate.
+
+The numbers land in ``BENCH_service.json`` next to the repo root (or
+``$SCCL_BENCH_DIR``) so CI can archive the perf trajectory run over run.
+Everything here must stay fast: this file runs inside the tier-1 suite.
+"""
+
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.engine import AlgorithmCache
+from repro.service import PlanRegistry, PlanRequest, PlanningService, SynthesisResolver
+
+from conftest import report
+
+PINNED = PlanRequest("Allgather", "ring:4", chunks=1, steps=2, rounds=3)
+ROUTED = PlanRequest("Allgather", "ring:4", size_bytes=1 << 20, synchrony=1)
+
+
+def bench_output_path() -> Path:
+    root = os.environ.get("SCCL_BENCH_DIR") or Path(__file__).resolve().parents[1]
+    return Path(root) / "BENCH_service.json"
+
+
+def _make_service(tmp_path, name):
+    registry = PlanRegistry(
+        cache=AlgorithmCache(tmp_path / name / "algorithms"),
+        routes_dir=tmp_path / name / "routes",
+    )
+    resolver = SynthesisResolver(registry)
+    return PlanningService(registry, num_workers=4, resolver=resolver), resolver
+
+
+def _cold_burst(tmp_path) -> dict:
+    service, resolver = _make_service(tmp_path, "cold")
+    with service:
+        barrier = threading.Barrier(8)
+        statuses = [None] * 8
+
+        def caller(index):
+            barrier.wait()
+            statuses[index] = service.request(PINNED, timeout=120.0).status
+
+        started = time.perf_counter()
+        threads = [threading.Thread(target=caller, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120.0)
+        elapsed = time.perf_counter() - started
+        broker = service.broker.stats()
+
+    assert statuses == ["ok"] * 8
+    assert resolver.stats()["solves"] <= 1
+    return {
+        "concurrent_callers": 8,
+        "backend_solves": resolver.stats()["solves"],
+        "coalesced": broker["coalesced"],
+        "coalescing_ratio": broker["coalescing_ratio"],
+        "wall_s": round(elapsed, 4),
+    }
+
+
+def _warm_throughput(tmp_path) -> dict:
+    service, resolver = _make_service(tmp_path, "warm")
+    requests_total = 400
+    client_threads = 8
+    with service:
+        # Warm both paths once so the measured phase serves from registry.
+        assert service.request(PINNED, timeout=120.0).ok
+        assert service.request(ROUTED, timeout=120.0).ok
+
+        workload = []
+        for index in range(requests_total):
+            if index % 2:
+                workload.append(PINNED)
+            else:
+                # Routed requests across sizes: all served by one table.
+                workload.append(
+                    PlanRequest(
+                        "Allgather", "ring:4",
+                        size_bytes=1024 << (index % 16), synchrony=1,
+                    )
+                )
+
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=client_threads) as pool:
+            responses = list(
+                pool.map(lambda r: service.request(r, timeout=120.0), workload)
+            )
+        elapsed = time.perf_counter() - started
+
+        broker = service.broker.stats()
+        registry_stats = service.registry.stats()
+
+    ok = sum(1 for r in responses if r.ok)
+    assert ok == requests_total
+    resolver_stats = resolver.stats()
+    answered = resolver_stats["solves"] + resolver_stats["registry_hits"]
+    return {
+        "requests": requests_total,
+        "client_threads": client_threads,
+        "wall_s": round(elapsed, 4),
+        "requests_per_sec": round(requests_total / elapsed, 1),
+        "coalescing_ratio": round(broker["coalescing_ratio"], 4),
+        "backend_solves": resolver_stats["solves"],
+        "registry_hits": resolver_stats["registry_hits"],
+        "cache_hit_rate": round(resolver_stats["registry_hits"] / answered, 4)
+        if answered else 0.0,
+        "route_hits": registry_stats["route_hits"],
+    }
+
+
+def test_service_throughput(tmp_path):
+    cold = _cold_burst(tmp_path)
+    warm = _warm_throughput(tmp_path)
+    payload = {
+        "benchmark": "planning_service_throughput",
+        "instance": "Allgather on ring:4 (quickstart)",
+        "cold_burst": cold,
+        "warm": warm,
+    }
+    output = bench_output_path()
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    report(
+        "BENCH_service: planning-service throughput",
+        "\n".join(
+            [
+                f"cold burst : {cold['concurrent_callers']} callers -> "
+                f"{cold['backend_solves']} solve(s), "
+                f"{cold['coalesced']} coalesced ({cold['coalescing_ratio']:.0%})",
+                f"warm       : {warm['requests']} requests in {warm['wall_s']}s "
+                f"-> {warm['requests_per_sec']} req/s",
+                f"hit rate   : {warm['cache_hit_rate']:.0%} served without solving "
+                f"({warm['backend_solves']} solves, {warm['registry_hits']} hits, "
+                f"coalescing {warm['coalescing_ratio']:.0%})",
+                f"written to : {output}",
+            ]
+        ),
+    )
+    assert warm["requests_per_sec"] > 0

@@ -18,6 +18,16 @@ Subcommands
 ``repro cache ls|show|verify|evict|clear``
     Inspect and manage the persistent cache, including the roadmap's
     LRU size-limit eviction (``cache evict --max-entries N``).
+``repro serve``
+    Run the planning service: an HTTP endpoint brokering concurrent plan
+    requests with coalescing, backed by the registry and a worker pool.
+``repro request``
+    Client for ``repro serve``: ask a running service for a plan (pinned
+    ``-C/-S/-R`` candidate or ``--size``-routed), or answer locally with
+    ``--local`` when no server is up.
+``repro run``
+    Execute an imported plan/XML file on the functional executor and the
+    alpha-beta simulator: verified correctness plus estimated times.
 
 Every subcommand exits 0 on success and 1 on failure, printing errors to
 stderr; ``repro synthesize`` additionally exits 1 when the candidate is
@@ -448,6 +458,159 @@ def _cmd_cache_clear(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# repro serve / repro request (the planning service)
+# ----------------------------------------------------------------------
+def _make_registry(args):
+    from ..service import PlanRegistry
+
+    cache = _require_cache(args)
+    routes_dir = args.routes_dir if getattr(args, "routes_dir", None) else None
+    return PlanRegistry(cache=cache, routes_dir=routes_dir)
+
+
+def _cmd_serve(args) -> int:
+    from ..service import PlanningService, make_server
+
+    if args.workers < 1:
+        raise CliError("--workers must be at least 1")
+    registry = _make_registry(args)
+    service = PlanningService(registry, num_workers=args.workers)
+    try:
+        server = make_server(service, host=args.host, port=args.port)
+    except OSError as exc:
+        raise CliError(f"cannot bind {args.host}:{args.port}: {exc}") from exc
+    host, port = server.server_address[:2]
+    service.start()
+    print(
+        f"repro planning service listening on http://{host}:{port} "
+        f"(cache {registry.cache.root}, routes {registry.routes_dir}, "
+        f"workers={args.workers})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.stop()
+        stats = service.broker.stats()
+        print(
+            f"served {stats['completed']} request(s), "
+            f"coalesced {stats['coalesced']} of {stats['submitted']}"
+        )
+    return 0
+
+
+def _build_plan_request(args):
+    from ..service import PlanRequest, ServiceError
+
+    try:
+        return PlanRequest(
+            collective=args.collective,
+            topology=args.topology,
+            chunks=args.chunks,
+            steps=args.steps,
+            rounds=args.rounds,
+            root=args.root,
+            size_bytes=args.size,
+            synchrony=args.synchrony,
+            deadline_s=args.deadline,
+            backend=args.backend,
+        ).validate()
+    except ServiceError as exc:
+        raise CliError(str(exc)) from exc
+
+
+def _cmd_request(args) -> int:
+    from ..service import PlanningService, ServiceError, request_plan
+
+    request = _build_plan_request(args)
+    try:
+        if args.local:
+            with PlanningService(_make_registry(args), num_workers=args.workers) as service:
+                response = service.request(request)
+        else:
+            response = request_plan(args.url, request)
+    except ServiceError as exc:
+        raise CliError(str(exc)) from exc
+
+    print(response.summary())
+    if response.route:
+        route = response.route
+        upper = route.get("max_bytes")
+        upper_text = "inf" if upper is None else f"{upper:.0f}"
+        print(
+            f"routed to {route['plan']} (C,S,R)={tuple(route['signature'])} "
+            f"for sizes [{route['min_bytes']:.0f}, {upper_text}) bytes"
+        )
+    if not response.ok:
+        return 1
+    plan = response.plan_object()  # re-verify before trusting the wire
+    print(plan.summary())
+    if args.output:
+        from ..interchange import write_plan
+
+        path = write_plan(plan, args.output)
+        print(f"wrote plan bundle to {path}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro run
+# ----------------------------------------------------------------------
+def _parse_size(text: str) -> int:
+    """``1024``, ``64K``, ``1M``, ``2G`` -> bytes."""
+    units = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    text = text.strip()
+    scale = units.get(text[-1:].upper())
+    digits = text[:-1] if scale else text
+    scale = scale or 1
+    try:
+        size = int(digits) * scale
+    except ValueError as exc:
+        raise CliError(f"bad size {text!r} (use e.g. 4096, 64K, 1M, 2G)") from exc
+    if size <= 0:
+        raise CliError(f"size must be positive, got {text!r}")
+    return size
+
+
+def _cmd_run(args) -> int:
+    from ..interchange import read_msccl_xml, read_plan
+    from ..runtime import Simulator, execute, lower
+
+    path = Path(args.file)
+    if not path.exists():
+        raise CliError(f"no such file: {path}")
+    fmt = args.format
+    if fmt == "auto":
+        fmt = "plan" if path.suffix.lower() == ".json" else "xml"
+    if fmt == "plan":
+        algorithm = read_plan(path).algorithm
+    else:
+        algorithm = read_msccl_xml(path)
+    print(f"imported and re-verified {algorithm.name!r} from {path}")
+
+    program = lower(algorithm, protocol=args.protocol)
+    execution = execute(program, algorithm)
+    print(
+        f"functional execution: OK ({execution.transfers} chunk transfers, "
+        f"{execution.steps_executed} steps, protocol {args.protocol})"
+    )
+
+    sizes = [_parse_size(s) for s in (args.size or ["1K", "1M", "128M"])]
+    simulator = Simulator(algorithm.topology)
+    print("simulated times (per-node buffer size -> estimate):")
+    for size in sizes:
+        sim = simulator.simulate(program, size)
+        print(
+            f"  {size:>12,d} B   {sim.total_time_s * 1e6:10.1f} us   "
+            f"({sim.algorithmic_bandwidth() / 1e9:.2f} GB/s)"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
 # Parser assembly
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
@@ -569,6 +732,66 @@ def build_parser() -> argparse.ArgumentParser:
     clear = cache_sub.add_parser("clear", help="remove every entry")
     _add_cache_options(clear)
     clear.set_defaults(func=_cmd_cache_clear)
+
+    # serve ------------------------------------------------------------
+    from ..service.server import DEFAULT_HOST, DEFAULT_PORT
+
+    serve = subparsers.add_parser(
+        "serve", help="run the planning service (HTTP endpoint + worker pool)"
+    )
+    serve.add_argument("--host", default=DEFAULT_HOST)
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help=f"TCP port (0 picks a free one; default {DEFAULT_PORT})")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="planning worker threads (default 2)")
+    serve.add_argument("--routes-dir", default=None,
+                       help="routing-table directory (default: <cache>/../routes)")
+    _add_cache_options(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    # request ----------------------------------------------------------
+    request = subparsers.add_parser(
+        "request", help="ask a running planning service for a plan"
+    )
+    request.add_argument("collective")
+    _add_topology_option(request)
+    request.add_argument("-C", "--chunks", type=int, default=None,
+                         help="pin the candidate: chunks per node")
+    request.add_argument("-S", "--steps", type=int, default=None)
+    request.add_argument("-R", "--rounds", type=int, default=None)
+    request.add_argument("--root", type=int, default=0)
+    request.add_argument("--size", type=int, default=None, metavar="BYTES",
+                         help="route by per-node buffer size instead of pinning C/S/R")
+    request.add_argument("-k", "--synchrony", type=int, default=2,
+                         help="synchrony budget for routed-mode sweeps (default 2)")
+    request.add_argument("--deadline", type=float, default=None, metavar="S",
+                         help="give up (and fall back to a baseline) after S seconds")
+    request.add_argument("--backend", default=None, help="solver backend name")
+    request.add_argument("--url", default=f"http://{DEFAULT_HOST}:{DEFAULT_PORT}",
+                         help="service URL (default %(default)s)")
+    request.add_argument("--local", action="store_true",
+                         help="answer in-process instead of contacting a server")
+    request.add_argument("--workers", type=int, default=2,
+                         help="worker threads for --local (default 2)")
+    request.add_argument("--routes-dir", default=None,
+                         help="routing-table directory for --local")
+    request.add_argument("-o", "--output", default=None, metavar="FILE",
+                         help="write the returned plan bundle to FILE")
+    _add_cache_options(request)
+    request.set_defaults(func=_cmd_request)
+
+    # run --------------------------------------------------------------
+    run = subparsers.add_parser(
+        "run", help="execute an imported plan/XML on the executor + simulator"
+    )
+    run.add_argument("file", help="plan bundle (.json) or MSCCL-style XML")
+    run.add_argument("--format", choices=("auto", "xml", "plan"), default="auto")
+    run.add_argument("--protocol", default="single_kernel_push",
+                     help="lowering protocol (default single_kernel_push)")
+    run.add_argument("--size", action="append", default=None, metavar="BYTES",
+                     help="per-node buffer size to simulate (repeatable; "
+                     "accepts K/M/G suffixes; default 1K, 1M, 128M)")
+    run.set_defaults(func=_cmd_run)
 
     # backends ---------------------------------------------------------
     backends = subparsers.add_parser("backends", help="list registered solver backends")

@@ -18,6 +18,7 @@ queries use the caller's alpha/beta.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
@@ -27,6 +28,11 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
+
+try:  # POSIX only; on other platforms mutations fall back to best-effort.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
 
 from ..core.algorithm import Algorithm
 from ..core.instance import SynCollInstance
@@ -157,8 +163,17 @@ class AlgorithmCache:
 
     Entries live under ``<root>/<key[:2]>/<key>.json`` and are written
     atomically (temp file + rename), so concurrent writers — the parallel
-    dispatcher's worker processes — can share one cache directory.
+    dispatcher's worker processes and the planning service's threads — can
+    share one cache directory.  Whole-index mutations (``evict``,
+    ``clear``) additionally serialize on an ``fcntl`` lock file, so two
+    concurrent evictions cannot race each other below their limits and an
+    eviction cannot interleave with another's bookkeeping.  Single-entry
+    stores stay lock-free: the atomic rename already makes them safe, and
+    the store path is the service's hot path.
     """
+
+    #: Name of the advisory lock file guarding index mutations.
+    LOCK_NAME = ".lock"
 
     def __init__(self, root) -> None:
         self.root = Path(root)
@@ -170,6 +185,33 @@ class AlgorithmCache:
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    @contextlib.contextmanager
+    def _mutation_lock(self):
+        """Advisory exclusive lock for index-wide mutations (evict/clear).
+
+        Best effort on purpose: when ``fcntl`` is unavailable or the
+        directory is unwritable, mutations proceed unlocked — per-entry
+        deletes tolerate losing races (missing files are skipped), the
+        lock only removes the window where two evictors both prune.
+        """
+        if fcntl is None:
+            yield
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            handle = open(self.root / self.LOCK_NAME, "a+")
+        except OSError:
+            yield
+            return
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            finally:
+                handle.close()
 
     # ------------------------------------------------------------------
     # Lookup / store
@@ -218,11 +260,12 @@ class AlgorithmCache:
             pass
 
     def clear(self) -> None:
-        for path in self.root.glob("*/*.json"):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        with self._mutation_lock():
+            for path in self.root.glob("*/*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json")) if self.root.exists() else 0
@@ -297,7 +340,20 @@ class AlgorithmCache:
             raise CacheError("max_bytes must be non-negative")
         if max_age_s is not None and max_age_s < 0:
             raise CacheError("max_age_s must be non-negative")
+        with self._mutation_lock():
+            return self._evict_locked(
+                max_entries=max_entries, max_bytes=max_bytes,
+                max_age_s=max_age_s, now=now,
+            )
 
+    def _evict_locked(
+        self,
+        *,
+        max_entries: Optional[int],
+        max_bytes: Optional[int],
+        max_age_s: Optional[float],
+        now: Optional[float],
+    ) -> List[str]:
         ordered = self.entry_paths()  # LRU first
         sizes: Dict[Path, int] = {}
         mtimes: Dict[Path, float] = {}

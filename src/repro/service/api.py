@@ -1,0 +1,301 @@
+"""Typed request/response API of the planning service.
+
+A :class:`PlanRequest` asks the service for a deployable collective
+algorithm in one of two modes:
+
+* **pinned** — the caller names the full candidate ``(C, S, R)``; the
+  service answers with exactly that algorithm (cache hit, fresh synthesis,
+  or a baseline fallback when the deadline expires).
+* **routed** — the caller names only a per-node buffer size; the service
+  consults the :class:`~repro.service.registry.PlanRegistry` routing table
+  for the ``(collective, topology)`` pair and answers with the
+  simulator-fastest frontier algorithm for that size, building (and
+  persisting) the table on first use.
+
+Requests are *content addressed*: :meth:`PlanRequest.request_key` reuses the
+engine cache's candidate fingerprint for pinned requests, so the broker's
+coalescing, the algorithm cache and the registry all agree on what
+"identical work" means.  Caller-local fields (the deadline) are explicitly
+excluded from the key — two callers with different patience still share one
+synthesis.
+
+Both types have stable JSON wire forms (``to_json`` / ``from_json``); the
+HTTP server and the ``repro request`` client speak exactly these.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from ..cli.topologies import TopologySpecError, parse_topology
+from ..interchange.plan import AlgorithmPlan
+from ..topology import Topology
+
+API_VERSION = 1
+
+#: Default per-request deadline (seconds) when the caller supplies none.
+DEFAULT_DEADLINE_S = 300.0
+
+
+class ServiceError(Exception):
+    """Raised for malformed service requests or responses."""
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One planning question: "give me an algorithm for this job".
+
+    ``topology`` is a CLI topology spec string (``ring:4``, ``dgx1``, ...)
+    — the wire form stays a one-liner and the server re-derives the
+    structural fingerprint itself rather than trusting the caller's.
+    """
+
+    collective: str
+    topology: str
+    chunks: Optional[int] = None
+    steps: Optional[int] = None
+    rounds: Optional[int] = None
+    root: int = 0
+    size_bytes: Optional[int] = None
+    synchrony: int = 2            # k budget for routed-mode frontier sweeps
+    deadline_s: Optional[float] = None
+    backend: Optional[str] = None
+    encoding: str = "sccl"
+    prune: bool = True
+
+    # ------------------------------------------------------------------
+    # Validation / mode
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        """``"pinned"`` or ``"routed"`` (raises for ambiguous requests)."""
+        pinned = [self.chunks, self.steps, self.rounds]
+        if all(v is not None for v in pinned):
+            return "pinned"
+        if any(v is not None for v in pinned):
+            raise ServiceError(
+                "pinned requests need all of chunks, steps and rounds "
+                f"(got C={self.chunks}, S={self.steps}, R={self.rounds})"
+            )
+        if self.size_bytes is not None:
+            return "routed"
+        raise ServiceError(
+            "request must pin (chunks, steps, rounds) or supply size_bytes "
+            "for routing"
+        )
+
+    def validate(self) -> "PlanRequest":
+        """Check field ranges and the topology spec; returns self."""
+        mode = self.mode  # raises on ambiguous shape
+        if not self.collective:
+            raise ServiceError("collective must be non-empty")
+        if mode == "pinned" and min(self.chunks, self.steps, self.rounds) < 1:
+            raise ServiceError("chunks, steps and rounds must be positive")
+        if mode == "routed" and self.size_bytes <= 0:
+            raise ServiceError("size_bytes must be positive")
+        if self.synchrony < 0:
+            raise ServiceError("synchrony must be non-negative")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ServiceError("deadline_s must be positive")
+        if self.encoding not in ("sccl", "naive"):
+            raise ServiceError(f"unknown encoding {self.encoding!r}")
+        self.resolve_topology()
+        return self
+
+    def resolve_topology(self) -> Topology:
+        try:
+            return parse_topology(self.topology)
+        except TopologySpecError as exc:
+            raise ServiceError(str(exc)) from exc
+
+    # ------------------------------------------------------------------
+    # Content addressing
+    # ------------------------------------------------------------------
+    def request_key(self) -> str:
+        """Content hash identifying this request's *work*.
+
+        Pinned requests reuse the engine cache fingerprint verbatim, so a
+        request key doubles as the cache key of the answer.  Routed
+        requests hash the structural topology payload plus the routing
+        inputs.  The deadline and the backend are caller preferences, not
+        work content, and are excluded.
+        """
+        from ..engine.cache import fingerprint, topology_fingerprint_payload
+
+        topology = self.resolve_topology()
+        if self.mode == "pinned":
+            return fingerprint(
+                self.collective,
+                topology,
+                self.chunks,
+                self.steps,
+                self.rounds,
+                root=self.root,
+                encoding=self.encoding,
+                prune=self.prune,
+            )
+        payload = {
+            "version": API_VERSION,
+            "mode": "routed",
+            "collective": self.collective,
+            "topology": topology_fingerprint_payload(topology),
+            "root": self.root,
+            "size_bytes": self.size_bytes,
+            "synchrony": self.synchrony,
+            "encoding": self.encoding,
+            "prune": self.prune,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Wire form
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        data = {
+            "version": API_VERSION,
+            "collective": self.collective,
+            "topology": self.topology,
+            "root": self.root,
+            "synchrony": self.synchrony,
+            "encoding": self.encoding,
+            "prune": self.prune,
+        }
+        for name in ("chunks", "steps", "rounds", "size_bytes", "deadline_s", "backend"):
+            value = getattr(self, name)
+            if value is not None:
+                data[name] = value
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PlanRequest":
+        if not isinstance(data, dict):
+            raise ServiceError("request payload must be a JSON object")
+        version = data.get("version", API_VERSION)
+        if version != API_VERSION:
+            raise ServiceError(f"unsupported request version {version!r}")
+        try:
+            request = cls(
+                collective=str(data["collective"]),
+                topology=str(data["topology"]),
+                chunks=_opt_int(data, "chunks"),
+                steps=_opt_int(data, "steps"),
+                rounds=_opt_int(data, "rounds"),
+                root=int(data.get("root", 0)),
+                size_bytes=_opt_int(data, "size_bytes"),
+                synchrony=int(data.get("synchrony", 2)),
+                deadline_s=_opt_float(data, "deadline_s"),
+                backend=data.get("backend"),
+                encoding=str(data.get("encoding", "sccl")),
+                prune=bool(data.get("prune", True)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed request: {exc}") from exc
+        return request.validate()
+
+    def describe(self) -> str:
+        if self.mode == "pinned":
+            shape = f"C={self.chunks} S={self.steps} R={self.rounds}"
+        else:
+            shape = f"size={self.size_bytes}B k={self.synchrony}"
+        return f"{self.collective} on {self.topology} [{shape}]"
+
+
+def _opt_int(data: dict, key: str) -> Optional[int]:
+    value = data.get(key)
+    return None if value is None else int(value)
+
+
+def _opt_float(data: dict, key: str) -> Optional[float]:
+    value = data.get(key)
+    return None if value is None else float(value)
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+#: How the plan in a response was obtained.
+SOURCES = ("registry", "cache", "synthesized", "baseline")
+
+#: Terminal request outcomes.
+STATUSES = ("ok", "timeout", "cancelled", "error")
+
+
+@dataclass
+class PlanResponse:
+    """The service's answer: a plan bundle plus provenance and timing."""
+
+    status: str                       # one of STATUSES
+    request_key: str
+    plan: Optional[dict] = None       # AlgorithmPlan.to_json() when status == "ok"
+    source: str = ""                  # one of SOURCES when status == "ok"
+    solve_time_s: float = 0.0         # worker-side time spent answering
+    wait_time_s: float = 0.0          # caller-side queueing + coalescing wait
+    coalesced: bool = False           # True when this caller shared another's work
+    route: Optional[Dict[str, object]] = None  # routed mode: chosen table entry
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def plan_object(self, *, verify: bool = True) -> AlgorithmPlan:
+        """Decode (and by default re-verify) the carried plan bundle."""
+        if self.plan is None:
+            raise ServiceError(f"response has no plan (status={self.status!r})")
+        return AlgorithmPlan.from_json(self.plan, verify=verify)
+
+    def to_json(self) -> dict:
+        data = {
+            "version": API_VERSION,
+            "status": self.status,
+            "request_key": self.request_key,
+            "source": self.source,
+            "solve_time_s": self.solve_time_s,
+            "wait_time_s": self.wait_time_s,
+            "coalesced": self.coalesced,
+        }
+        if self.plan is not None:
+            data["plan"] = self.plan
+        if self.route is not None:
+            data["route"] = self.route
+        if self.error is not None:
+            data["error"] = self.error
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PlanResponse":
+        if not isinstance(data, dict):
+            raise ServiceError("response payload must be a JSON object")
+        status = data.get("status")
+        if status not in STATUSES:
+            raise ServiceError(f"invalid response status {status!r}")
+        return cls(
+            status=status,
+            request_key=str(data.get("request_key", "")),
+            plan=data.get("plan"),
+            source=str(data.get("source", "")),
+            solve_time_s=float(data.get("solve_time_s", 0.0)),
+            wait_time_s=float(data.get("wait_time_s", 0.0)),
+            coalesced=bool(data.get("coalesced", False)),
+            route=data.get("route"),
+            error=data.get("error"),
+        )
+
+    def with_wait(self, wait_time_s: float, *, coalesced: bool) -> "PlanResponse":
+        """Per-caller copy of a shared result (broker fan-out)."""
+        return replace(self, wait_time_s=wait_time_s, coalesced=coalesced)
+
+    def summary(self) -> str:
+        key = self.request_key[:12] + ".." if self.request_key else "?"
+        if self.ok:
+            extra = " (coalesced)" if self.coalesced else ""
+            return (
+                f"{key} -> {self.status} from {self.source} in "
+                f"{self.solve_time_s:.2f}s (waited {self.wait_time_s:.2f}s){extra}"
+            )
+        reason = f": {self.error}" if self.error else ""
+        return f"{key} -> {self.status}{reason}"

@@ -1,0 +1,289 @@
+"""Thread-safe request broker with in-flight coalescing.
+
+The broker sits between N concurrent callers and a small pool of planning
+workers.  Its one invariant is the serving economics of the ROADMAP's
+north star: *identical in-flight requests trigger exactly one unit of
+work*.  ``submit`` hashes the request (content-addressed, see
+:meth:`~repro.service.api.PlanRequest.request_key`); if a job with the same
+key is already queued or running, the caller's ticket joins that job
+instead of enqueueing a second one.  When the job completes, every
+attached ticket receives its own copy of the shared response, annotated
+with the caller-specific wait time and a ``coalesced`` flag.
+
+Deadlines and cancellation are caller-side: :meth:`Ticket.wait` gives up
+after the request's deadline and returns a ``timeout`` response;
+:meth:`Ticket.cancel` detaches the ticket immediately.  In both cases the
+underlying job keeps running if it has other waiters — and if it has
+*none* and has not started yet, it is dropped from the queue entirely.  A
+job that already started is never aborted: its result still lands in the
+algorithm cache and the registry, so the work benefits the next caller
+(opportunistic, in the PopPy sense: extra completed work is never wasted,
+merely unclaimed).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from .api import PlanRequest, PlanResponse, ServiceError
+
+
+class BrokerError(ServiceError):
+    """Raised for invalid broker operations."""
+
+
+@dataclass
+class BrokerStats:
+    """Monotonic counters; read via :meth:`Broker.stats`."""
+
+    submitted: int = 0
+    coalesced: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0      # tickets detached by Ticket.cancel()
+    expired: int = 0        # tickets that gave up waiting (deadline)
+    dropped_jobs: int = 0   # queued jobs abandoned by all their waiters
+
+    def as_dict(self) -> Dict[str, float]:
+        data = {
+            "submitted": self.submitted,
+            "coalesced": self.coalesced,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "expired": self.expired,
+            "dropped_jobs": self.dropped_jobs,
+        }
+        data["coalescing_ratio"] = (
+            self.coalesced / self.submitted if self.submitted else 0.0
+        )
+        return data
+
+
+class Job:
+    """One unit of planning work shared by every coalesced ticket."""
+
+    __slots__ = ("key", "request", "tickets", "started", "dropped", "created_at")
+
+    def __init__(self, key: str, request: PlanRequest) -> None:
+        self.key = key
+        self.request = request
+        self.tickets: List["Ticket"] = []
+        self.started = False
+        self.dropped = False
+        self.created_at = time.monotonic()
+
+    def remaining_s(self) -> Optional[float]:
+        """The most patient waiter's remaining deadline (None = no limit).
+
+        Workers pass this to the engine as the solve time limit: the job
+        keeps solving as long as *some* waiter is still willing to wait,
+        but a job whose every waiter is about to give up does not solve
+        forever.
+        """
+        waiters = list(self.tickets)  # snapshot: callers may detach concurrently
+        deadlines = [
+            t.submitted_at + t.request.deadline_s
+            for t in waiters
+            if t.request.deadline_s is not None
+        ]
+        if not deadlines or len(deadlines) != len(waiters):
+            return None  # at least one waiter is unbounded
+        return max(0.0, max(deadlines) - time.monotonic())
+
+
+class Ticket:
+    """One caller's handle on a (possibly shared) job."""
+
+    def __init__(self, broker: "Broker", job: Job, request: PlanRequest, *, coalesced: bool) -> None:
+        self._broker = broker
+        self._job = job
+        self.request = request
+        self.coalesced = coalesced
+        self.submitted_at = time.monotonic()
+        self._event = threading.Event()
+        self._response: Optional[PlanResponse] = None
+
+    @property
+    def key(self) -> str:
+        return self._job.key
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    # ------------------------------------------------------------------
+    def wait(self, timeout: Optional[float] = None) -> PlanResponse:
+        """Block until the job completes, the timeout or the deadline.
+
+        ``timeout`` defaults to the request's ``deadline_s`` (None waits
+        forever).  An expired wait detaches the ticket and returns a
+        ``timeout`` response — the job itself keeps running for any other
+        waiters and for the cache.
+        """
+        if timeout is None:
+            timeout = self.request.deadline_s
+        if self._event.wait(timeout):
+            return self._response
+        with self._broker._lock:
+            # The result may have landed between the wait and the lock.
+            if self._event.is_set():
+                return self._response
+            self._detach_locked()
+            self._broker._stats.expired += 1
+        return PlanResponse(
+            status="timeout",
+            request_key=self.key,
+            wait_time_s=time.monotonic() - self.submitted_at,
+            coalesced=self.coalesced,
+            error=f"deadline expired after {timeout:.3f}s",
+        )
+
+    def cancel(self) -> bool:
+        """Detach from the job; True if the ticket was still pending."""
+        with self._broker._lock:
+            if self._event.is_set():
+                return False
+            self._detach_locked()
+            self._broker._stats.cancelled += 1
+            self._response = PlanResponse(
+                status="cancelled",
+                request_key=self.key,
+                wait_time_s=time.monotonic() - self.submitted_at,
+                coalesced=self.coalesced,
+            )
+            self._event.set()
+            return True
+
+    def _detach_locked(self) -> None:
+        job = self._job
+        if self in job.tickets:
+            job.tickets.remove(self)
+        if not job.tickets and not job.started and not job.dropped:
+            # Nobody wants this job and no worker has claimed it: drop it
+            # so the queue never burns a worker on unclaimed work.
+            job.dropped = True
+            self._broker._inflight.pop(job.key, None)
+            self._broker._stats.dropped_jobs += 1
+
+    # ------------------------------------------------------------------
+    def _resolve(self, response: PlanResponse) -> None:
+        with self._broker._lock:
+            # A cancel/expiry that won the race already settled this
+            # ticket; the job's result must not overwrite that outcome.
+            if self._event.is_set():
+                return
+            self._response = response.with_wait(
+                time.monotonic() - self.submitted_at, coalesced=self.coalesced
+            )
+            self._event.set()
+
+
+class Broker:
+    """Coalescing FIFO of planning jobs (see module docstring)."""
+
+    def __init__(self, *, max_pending: Optional[int] = None) -> None:
+        if max_pending is not None and max_pending < 1:
+            raise BrokerError("max_pending must be positive")
+        self.max_pending = max_pending
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._queue: Deque[Job] = deque()
+        self._inflight: Dict[str, Job] = {}
+        self._stats = BrokerStats()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Caller side
+    # ------------------------------------------------------------------
+    def submit(self, request: PlanRequest) -> Ticket:
+        """Enqueue (or join) the job for ``request`` and return a ticket."""
+        request.validate()
+        key = request.request_key()
+        with self._lock:
+            if self._closed:
+                raise BrokerError("broker is closed")
+            self._stats.submitted += 1
+            job = self._inflight.get(key)
+            if job is not None and not job.dropped:
+                ticket = Ticket(self, job, request, coalesced=True)
+                job.tickets.append(ticket)
+                self._stats.coalesced += 1
+                return ticket
+            if self.max_pending is not None and len(self._queue) >= self.max_pending:
+                raise BrokerError(
+                    f"queue full ({self.max_pending} pending jobs); retry later"
+                )
+            job = Job(key, request)
+            ticket = Ticket(self, job, request, coalesced=False)
+            job.tickets.append(ticket)
+            self._inflight[key] = job
+            self._queue.append(job)
+            self._available.notify()
+            return ticket
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def next_job(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Claim the next live job (skipping dropped ones); None on timeout
+        or when the broker is closed and drained."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._available:
+            while True:
+                while self._queue:
+                    job = self._queue.popleft()
+                    if job.dropped:
+                        continue
+                    job.started = True
+                    return job
+                if self._closed:
+                    return None
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._available.wait(remaining)
+
+    def complete(self, job: Job, response: PlanResponse) -> None:
+        """Fan a finished job's response out to every remaining waiter."""
+        with self._lock:
+            self._inflight.pop(job.key, None)
+            waiters = list(job.tickets)
+            job.tickets.clear()
+            if response.status == "ok":
+                self._stats.completed += 1
+            else:
+                self._stats.failed += 1
+        for ticket in waiters:
+            ticket._resolve(response)
+
+    def fail(self, job: Job, exc: BaseException) -> None:
+        self.complete(
+            job,
+            PlanResponse(
+                status="error",
+                request_key=job.key,
+                error=f"{type(exc).__name__}: {exc}",
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting submissions and wake idle workers."""
+        with self._available:
+            self._closed = True
+            self._available.notify_all()
+
+    def pending(self) -> int:
+        with self._lock:
+            return sum(1 for job in self._queue if not job.dropped)
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            data = self._stats.as_dict()
+            data["pending"] = sum(1 for job in self._queue if not job.dropped)
+            data["inflight"] = len(self._inflight)
+            return data

@@ -1,0 +1,481 @@
+"""Plan registry: pinned-plan lookups plus per-(collective, topology)
+buffer-size routing tables.
+
+The registry is the serving-side face of the persistence layer.  It layers
+two stores:
+
+* **pinned plans** — delegated to the engine's content-addressed
+  :class:`~repro.engine.cache.AlgorithmCache` (one JSON file per solved
+  candidate, safe under concurrent writers);
+* **routing tables** — one JSON document per ``(collective, topology
+  structure, root, synchrony)`` tuple mapping *buffer-size ranges* to the
+  frontier algorithm the alpha-beta simulator predicts is fastest in that
+  range.  This turns the evaluation harness's offline "which algorithm
+  wins at which size" analysis (paper Figures 4-6) into an online routing
+  decision answered from a dict lookup.
+
+Tables embed their frontier algorithms as
+:class:`~repro.interchange.plan.AlgorithmPlan` bundles, so a routed answer
+is served without touching the algorithm cache, and every plan crossing
+back in from disk is re-verified against the collective spec (the
+interchange trust boundary applies to the registry's own files too —
+a hand-edited table cannot inject an invalid schedule).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.algorithm import Algorithm
+from ..engine.cache import (
+    AlgorithmCache,
+    default_cache,
+    topology_fingerprint_payload,
+)
+from ..interchange.plan import AlgorithmPlan, plan_from_algorithm
+from ..topology import Topology
+from .api import PlanRequest, ServiceError
+
+ROUTES_FORMAT = "repro-sccl/routes"
+ROUTES_VERSION = 1
+
+#: Default probe grid for routing tables: 1 KiB .. 256 MiB in x4 steps.
+DEFAULT_ROUTE_SIZES: Tuple[int, ...] = tuple(1024 * 4 ** i for i in range(10))
+
+#: Protocol whose cost model scores routing candidates.
+DEFAULT_ROUTE_PROTOCOL = "single_kernel_push"
+
+
+class RegistryError(ServiceError):
+    """Raised for malformed routing tables or registry misuse."""
+
+
+# ----------------------------------------------------------------------
+# Routing tables
+# ----------------------------------------------------------------------
+@dataclass
+class RouteEntry:
+    """One contiguous buffer-size range and its winning algorithm."""
+
+    min_bytes: float
+    max_bytes: Optional[float]      # None = open-ended (largest range)
+    plan_name: str                  # key into RoutingTable.plans
+    signature: Tuple[int, int, int]  # (C, S, R) of the winner
+
+    def covers(self, size_bytes: float) -> bool:
+        upper_ok = self.max_bytes is None or size_bytes < self.max_bytes
+        return size_bytes >= self.min_bytes and upper_ok
+
+    def to_json(self) -> dict:
+        return {
+            "min_bytes": self.min_bytes,
+            "max_bytes": self.max_bytes,
+            "plan": self.plan_name,
+            "signature": list(self.signature),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RouteEntry":
+        return cls(
+            min_bytes=float(data["min_bytes"]),
+            max_bytes=None if data.get("max_bytes") is None else float(data["max_bytes"]),
+            plan_name=str(data["plan"]),
+            signature=tuple(int(v) for v in data["signature"]),
+        )
+
+
+@dataclass
+class RoutingTable:
+    """Simulator-scored frontier of one (collective, topology) pair."""
+
+    collective: str
+    topology_name: str
+    fingerprint: str                 # structural topology fingerprint
+    root: int
+    synchrony: int
+    protocol: str
+    probe_sizes: List[int] = field(default_factory=list)
+    probe_times: Dict[str, List[float]] = field(default_factory=dict)
+    entries: List[RouteEntry] = field(default_factory=list)
+    plans: Dict[str, dict] = field(default_factory=dict)   # name -> plan JSON
+    built_at: float = 0.0
+    build_time_s: float = 0.0
+
+    def route(self, size_bytes: float) -> Optional[RouteEntry]:
+        """The entry covering ``size_bytes`` (tables cover [0, inf))."""
+        for entry in self.entries:
+            if entry.covers(size_bytes):
+                return entry
+        return None
+
+    def plan_for(self, entry: RouteEntry, *, verify: bool = False) -> AlgorithmPlan:
+        payload = self.plans.get(entry.plan_name)
+        if payload is None:
+            raise RegistryError(
+                f"routing table references unknown plan {entry.plan_name!r}"
+            )
+        return AlgorithmPlan.from_json(payload, verify=verify)
+
+    def to_json(self) -> dict:
+        return {
+            "format": ROUTES_FORMAT,
+            "version": ROUTES_VERSION,
+            "collective": self.collective,
+            "topology": self.topology_name,
+            "topology_fingerprint": self.fingerprint,
+            "root": self.root,
+            "synchrony": self.synchrony,
+            "protocol": self.protocol,
+            "probe_sizes": list(self.probe_sizes),
+            "probe_times": {k: list(v) for k, v in self.probe_times.items()},
+            "entries": [entry.to_json() for entry in self.entries],
+            "plans": dict(self.plans),
+            "built_at": self.built_at,
+            "build_time_s": self.build_time_s,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict, *, verify: bool = True) -> "RoutingTable":
+        if data.get("format") != ROUTES_FORMAT:
+            raise RegistryError(
+                f"not a {ROUTES_FORMAT} document (format={data.get('format')!r})"
+            )
+        if data.get("version") != ROUTES_VERSION:
+            raise RegistryError(f"unsupported routes version {data.get('version')!r}")
+        try:
+            table = cls(
+                collective=str(data["collective"]),
+                topology_name=str(data.get("topology", "?")),
+                fingerprint=str(data["topology_fingerprint"]),
+                root=int(data.get("root", 0)),
+                synchrony=int(data.get("synchrony", 0)),
+                protocol=str(data.get("protocol", DEFAULT_ROUTE_PROTOCOL)),
+                probe_sizes=[int(v) for v in data.get("probe_sizes", [])],
+                probe_times={
+                    str(k): [float(x) for x in v]
+                    for k, v in data.get("probe_times", {}).items()
+                },
+                entries=[RouteEntry.from_json(e) for e in data.get("entries", [])],
+                plans=dict(data.get("plans", {})),
+                built_at=float(data.get("built_at", 0.0)),
+                build_time_s=float(data.get("build_time_s", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RegistryError(f"malformed routing table: {exc}") from exc
+        if verify:
+            table.verify()
+        return table
+
+    def verify(self) -> None:
+        """Trust boundary for tables loaded from disk.
+
+        Every referenced plan must exist, decode, re-verify against its
+        collective spec, and carry the table's topology fingerprint; the
+        entries must tile [0, inf) without gaps or overlaps.
+        """
+        for entry in self.entries:
+            plan = self.plan_for(entry, verify=True)
+            if plan.fingerprint != self.fingerprint:
+                raise RegistryError(
+                    f"plan {entry.plan_name!r} was built for a different topology "
+                    f"than its routing table"
+                )
+        expected_min = 0.0
+        for index, entry in enumerate(self.entries):
+            if entry.min_bytes != expected_min:
+                raise RegistryError(
+                    f"routing entries do not tile sizes: entry {index} starts at "
+                    f"{entry.min_bytes}, expected {expected_min}"
+                )
+            if entry.max_bytes is None:
+                if index != len(self.entries) - 1:
+                    raise RegistryError("only the last routing entry may be open-ended")
+            else:
+                if entry.max_bytes <= entry.min_bytes:
+                    raise RegistryError(f"empty routing range at entry {index}")
+                expected_min = entry.max_bytes
+        if self.entries and self.entries[-1].max_bytes is not None:
+            raise RegistryError("last routing entry must be open-ended")
+
+
+def build_routing_table(
+    collective: str,
+    topology: Topology,
+    algorithms: Sequence[Algorithm],
+    *,
+    root: int = 0,
+    synchrony: int = 0,
+    sizes: Sequence[int] = DEFAULT_ROUTE_SIZES,
+    protocol: str = DEFAULT_ROUTE_PROTOCOL,
+) -> RoutingTable:
+    """Score candidate algorithms with the simulator and derive size ranges.
+
+    Each algorithm is lowered once and simulated at every probe size; the
+    per-size winner is the minimum simulated wall-clock time.  Runs of
+    consecutive probe sizes with the same winner merge into one
+    :class:`RouteEntry`; the boundary between two ranges is the geometric
+    midpoint of the adjacent probe sizes (sizes are sampled on a geometric
+    grid, so that is the unbiased split).
+    """
+    from ..interchange.plan import topology_fingerprint
+    from ..runtime import Simulator, lower
+
+    if not algorithms:
+        raise RegistryError("cannot build a routing table from zero algorithms")
+    sizes = sorted(set(int(s) for s in sizes))
+    if not sizes or sizes[0] <= 0:
+        raise RegistryError("probe sizes must be positive")
+
+    started = time.monotonic()
+    simulator = Simulator(topology)
+    programs = [(algorithm, lower(algorithm, protocol=protocol)) for algorithm in algorithms]
+
+    names: List[str] = []
+    times: Dict[str, List[float]] = {}
+    plans: Dict[str, dict] = {}
+    for algorithm, _ in programs:
+        if algorithm.name in plans:
+            raise RegistryError(f"duplicate algorithm name {algorithm.name!r}")
+        names.append(algorithm.name)
+        times[algorithm.name] = []
+        plans[algorithm.name] = plan_from_algorithm(algorithm).to_json()
+
+    winners: List[str] = []
+    for size in sizes:
+        best_name, best_time = None, math.inf
+        for algorithm, program in programs:
+            elapsed = simulator.simulate(program, size).total_time_s
+            times[algorithm.name].append(elapsed)
+            if elapsed < best_time:
+                best_name, best_time = algorithm.name, elapsed
+        winners.append(best_name)
+
+    by_name = {algorithm.name: algorithm for algorithm, _ in programs}
+    entries: List[RouteEntry] = []
+    lower_bound = 0.0
+    for index, winner in enumerate(winners):
+        last = index == len(winners) - 1
+        if not last and winners[index + 1] == winner:
+            continue
+        upper = None if last else math.sqrt(sizes[index] * sizes[index + 1])
+        entries.append(
+            RouteEntry(
+                min_bytes=lower_bound,
+                max_bytes=upper,
+                plan_name=winner,
+                signature=by_name[winner].signature(),
+            )
+        )
+        lower_bound = upper
+
+    return RoutingTable(
+        collective=collective,
+        topology_name=topology.name,
+        fingerprint=topology_fingerprint(topology),
+        root=root,
+        synchrony=synchrony,
+        protocol=protocol,
+        probe_sizes=list(sizes),
+        probe_times=times,
+        entries=entries,
+        plans=plans,
+        built_at=time.time(),
+        build_time_s=time.monotonic() - started,
+    )
+
+
+def routing_key(
+    collective: str,
+    topology: Topology,
+    *,
+    root: int = 0,
+    synchrony: int = 0,
+    encoding: str = "sccl",
+    prune: bool = True,
+) -> str:
+    """Content hash identifying one routing table (size-independent)."""
+    payload = {
+        "version": ROUTES_VERSION,
+        "collective": collective,
+        "topology": topology_fingerprint_payload(topology),
+        "root": root,
+        "synchrony": synchrony,
+        "encoding": encoding,
+        "prune": prune,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+class PlanRegistry:
+    """Pinned-plan cache plus persistent, memoized routing tables.
+
+    Loaded tables are memoized in memory keyed by file mtime, so steady
+    state routed lookups cost two dict probes and no disk I/O or
+    re-verification — the microseconds-path the service exists for.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[AlgorithmCache] = None,
+        routes_dir=None,
+    ) -> None:
+        self.cache = cache if cache is not None else default_cache()
+        if routes_dir is None:
+            routes_dir = self.cache.root.parent / "routes"
+        self.routes_dir = Path(routes_dir)
+        self._lock = threading.Lock()
+        self._tables: Dict[str, Tuple[float, RoutingTable]] = {}
+        self.route_hits = 0
+        self.route_misses = 0
+
+    # ------------------------------------------------------------------
+    # Pinned plans (delegated to the algorithm cache)
+    # ------------------------------------------------------------------
+    def lookup_pinned(self, request: PlanRequest) -> Optional[AlgorithmPlan]:
+        """Cached plan for a pinned request, or None."""
+        topology = request.resolve_topology()
+        algorithm = self.cache.load_algorithm(
+            request.collective,
+            topology,
+            request.chunks,
+            request.steps,
+            request.rounds,
+            root=request.root,
+            encoding=request.encoding,
+            prune=request.prune,
+        )
+        if algorithm is None:
+            return None
+        return plan_from_algorithm(
+            algorithm, provenance={"backend": "cache", "cache_hit": True}
+        )
+
+    # ------------------------------------------------------------------
+    # Routing tables
+    # ------------------------------------------------------------------
+    def _table_path(self, key: str) -> Path:
+        return self.routes_dir / f"{key}.json"
+
+    def load_table(self, key: str) -> Optional[RoutingTable]:
+        """Load (and memoize) a routing table; None when absent/invalid."""
+        path = self._table_path(key)
+        try:
+            mtime = path.stat().st_mtime
+        except OSError:
+            return None
+        with self._lock:
+            cached = self._tables.get(key)
+            if cached is not None and cached[0] == mtime:
+                return cached[1]
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            table = RoutingTable.from_json(data, verify=True)
+        except Exception:
+            # An unreadable or tampered table is a miss, never an answer.
+            return None
+        with self._lock:
+            self._tables[key] = (mtime, table)
+        return table
+
+    def save_table(self, key: str, table: RoutingTable) -> Path:
+        """Atomically persist a table (concurrent writers: last one wins)."""
+        path = self._table_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(table.to_json(), handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            try:
+                self._tables[key] = (path.stat().st_mtime, table)
+            except OSError:
+                self._tables.pop(key, None)
+        return path
+
+    def table_for(self, request: PlanRequest) -> Optional[RoutingTable]:
+        topology = request.resolve_topology()
+        key = routing_key(
+            request.collective,
+            topology,
+            root=request.root,
+            synchrony=request.synchrony,
+            encoding=request.encoding,
+            prune=request.prune,
+        )
+        return self.load_table(key)
+
+    def route(
+        self, request: PlanRequest
+    ) -> Optional[Tuple[AlgorithmPlan, RouteEntry, RoutingTable]]:
+        """Answer a routed request from a persisted table, or None."""
+        table = self.table_for(request)
+        if table is None:
+            with self._lock:
+                self.route_misses += 1
+            return None
+        entry = table.route(float(request.size_bytes))
+        if entry is None:
+            with self._lock:
+                self.route_misses += 1
+            return None
+        with self._lock:
+            self.route_hits += 1
+        # Plans inside a memoized table were verified when the table was
+        # loaded; skip per-request re-verification on the hot path.
+        return table.plan_for(entry, verify=False), entry, table
+
+    def install_table(self, request: PlanRequest, table: RoutingTable) -> str:
+        topology = request.resolve_topology()
+        key = routing_key(
+            request.collective,
+            topology,
+            root=request.root,
+            synchrony=request.synchrony,
+            encoding=request.encoding,
+            prune=request.prune,
+        )
+        self.save_table(key, table)
+        return key
+
+    # ------------------------------------------------------------------
+    def tables(self) -> List[Path]:
+        if not self.routes_dir.exists():
+            return []
+        return sorted(self.routes_dir.glob("*.json"))
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            hits, misses = self.route_hits, self.route_misses
+        return {
+            "cache": self.cache.stats(),
+            "route_hits": hits,
+            "route_misses": misses,
+            "tables": len(self.tables()),
+        }
+
+
+def default_registry() -> PlanRegistry:
+    """Registry over the process-default cache (routes live beside it)."""
+    return PlanRegistry(cache=default_cache())

@@ -1,0 +1,184 @@
+"""Stdlib HTTP face of the planning service.
+
+One POST endpoint does the planning; two GETs make the service operable:
+
+``POST /v1/plan``
+    Body: :class:`~repro.service.api.PlanRequest` JSON.  Blocks until the
+    broker answers (or the request's deadline expires) and returns a
+    :class:`~repro.service.api.PlanResponse` JSON.  Identical concurrent
+    bodies coalesce into one synthesis.
+``GET /healthz``
+    Liveness: ``{"status": "ok"}`` once the worker pool is running.
+``GET /v1/stats``
+    Broker / registry / resolver counters (requests, coalescing ratio,
+    cache hit rate) — the numbers the throughput benchmark records.
+
+Everything is standard library (``http.server`` + ``urllib``): the
+container bakes no web framework, and a ThreadingHTTPServer in front of
+the coalescing broker is exactly enough — concurrency is bounded by the
+worker pool, not the accept loop.  :func:`request_plan` is the matching
+client used by ``repro request``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from .api import DEFAULT_DEADLINE_S, PlanRequest, PlanResponse, ServiceError
+from .workers import PlanningService
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8315
+
+#: Server-side ceiling on how long one HTTP request may block.
+MAX_WAIT_S = 24 * 3600.0
+
+
+class PlanningHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one :class:`PlanningService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: PlanningService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: PlanningHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+        if self.path == "/healthz":
+            self._send(200, {"status": "ok"})
+        elif self.path == "/v1/stats":
+            self._send(200, self.server.service.stats())
+        else:
+            self._send(404, {"error": f"no such endpoint {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path != "/v1/plan":
+            self._send(404, {"error": f"no such endpoint {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = self.rfile.read(length) if length else b""
+            request = PlanRequest.from_json(json.loads(body.decode("utf-8")))
+        except (ValueError, ServiceError) as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        timeout = request.deadline_s if request.deadline_s is not None else DEFAULT_DEADLINE_S
+        timeout = min(timeout, MAX_WAIT_S)
+        try:
+            response = self.server.service.request(request, timeout=timeout)
+        except ServiceError as exc:  # e.g. queue full
+            self._send(503, {"error": str(exc)})
+            return
+        status = 200 if response.ok else (504 if response.status == "timeout" else 422)
+        self._send(status, response.to_json())
+
+    # ------------------------------------------------------------------
+    def _send(self, status: int, payload: dict) -> None:
+        blob = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def log_message(self, format: str, *args) -> None:
+        # Quiet by default; the CLI prints its own serving banner.  Errors
+        # still surface through the JSON payloads.
+        pass
+
+
+# ----------------------------------------------------------------------
+# Lifecycle helpers
+# ----------------------------------------------------------------------
+def make_server(
+    service: PlanningService,
+    *,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+) -> PlanningHTTPServer:
+    """Bind (``port=0`` picks a free port) — call ``serve_forever`` next."""
+    return PlanningHTTPServer((host, port), service)
+
+
+class ServerThread:
+    """Run a :class:`PlanningHTTPServer` on a background thread (tests)."""
+
+    def __init__(self, server: PlanningHTTPServer) -> None:
+        self.server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever, name="planning-http", daemon=True
+        )
+
+    @property
+    def url(self) -> str:
+        host, port = self.server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self._thread.join(timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+def request_plan(
+    url: str, request: PlanRequest, *, timeout: Optional[float] = None
+) -> PlanResponse:
+    """POST a :class:`PlanRequest` to a running service and decode the answer.
+
+    The HTTP timeout is the request deadline plus slack (the server
+    enforces the deadline itself and answers with a ``timeout`` response
+    we want to receive, not race).
+    """
+    if timeout is None:
+        deadline = request.deadline_s if request.deadline_s is not None else DEFAULT_DEADLINE_S
+        timeout = deadline + 10.0
+    endpoint = url.rstrip("/") + "/v1/plan"
+    body = json.dumps(request.to_json()).encode("utf-8")
+    http_request = urllib.request.Request(
+        endpoint, data=body, headers={"Content-Type": "application/json"}, method="POST"
+    )
+    try:
+        with urllib.request.urlopen(http_request, timeout=timeout) as reply:
+            payload = json.loads(reply.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        # 4xx/5xx still carry a JSON body (a PlanResponse or an error dict).
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+        except ValueError:
+            raise ServiceError(f"service returned HTTP {exc.code}") from exc
+        if "status" not in payload:
+            raise ServiceError(
+                f"service rejected the request (HTTP {exc.code}): "
+                f"{payload.get('error', '?')}"
+            ) from exc
+    except (urllib.error.URLError, OSError) as exc:
+        raise ServiceError(f"cannot reach planning service at {url}: {exc}") from exc
+    return PlanResponse.from_json(payload)
+
+
+def check_health(url: str, *, timeout: float = 2.0) -> bool:
+    """True when a planning service answers ``/healthz`` at ``url``."""
+    try:
+        with urllib.request.urlopen(url.rstrip("/") + "/healthz", timeout=timeout) as reply:
+            return json.loads(reply.read().decode("utf-8")).get("status") == "ok"
+    except Exception:
+        return False

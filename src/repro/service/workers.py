@@ -1,0 +1,477 @@
+"""Worker pool and the resolution chain behind every planning job.
+
+Workers pull jobs off the :class:`~repro.service.broker.Broker` and answer
+them through :class:`SynthesisResolver`, whose fallback ladder is fixed:
+
+1. **registry / cache** — pinned requests consult the content-addressed
+   :class:`~repro.engine.cache.AlgorithmCache`, routed requests the
+   persisted routing table; a hit is answered without any solver work.
+2. **synthesis** — pinned requests run one engine solve
+   (:func:`repro.core.synthesizer.synthesize`); routed requests run a
+   Pareto sweep through the engine's *incremental* dispatcher (one
+   encoding per distinct chunk count), then score the frontier with the
+   alpha-beta simulator into a fresh routing table.  The most patient
+   waiter's remaining deadline is forwarded to the engine as the solve
+   time limit.
+3. **baseline** — when the solver comes back UNKNOWN (deadline / resource
+   limits) the resolver degrades gracefully to a hand-written baseline
+   (ring Allgather/Allreduce/Reducescatter, BFS-tree Broadcast/Reduce),
+   clearly labelled ``source="baseline"``.  Serving a correct-but-
+   suboptimal schedule beats serving an error.
+
+:class:`PlanningService` bundles broker + pool + registry into the
+one-object facade the HTTP server, the CLI, the quickstart example and the
+benchmarks all share.  The resolver is injectable, which is also how the
+contention tests count backend solves.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from .api import DEFAULT_DEADLINE_S, PlanRequest, PlanResponse, ServiceError
+from .broker import Broker, Job, Ticket
+from .registry import PlanRegistry, build_routing_table
+
+#: Resolver signature: (request, remaining_s) -> PlanResponse.
+Resolver = Callable[[PlanRequest, Optional[float]], PlanResponse]
+
+
+class WorkerError(ServiceError):
+    """Raised for invalid worker-pool configurations."""
+
+
+# ----------------------------------------------------------------------
+# Baseline fallback
+# ----------------------------------------------------------------------
+def baseline_algorithm(collective: str, topology, *, root: int = 0):
+    """Best-effort hand-written algorithm for a collective, or None.
+
+    Ring baselines need a Hamiltonian ring in the topology, tree baselines
+    a connected one; anything else (Gather, Scatter, Alltoall, or an
+    exotic topology) simply has no fallback.
+    """
+    from ..baselines import (
+        ring_allgather,
+        ring_allreduce,
+        ring_reduce_scatter,
+        single_ring,
+        tree_broadcast,
+        tree_reduce,
+    )
+
+    try:
+        name = collective.lower()
+        if name == "allgather":
+            return ring_allgather(topology, single_ring(topology))
+        if name == "allreduce":
+            return ring_allreduce(topology, single_ring(topology))
+        if name == "reducescatter":
+            return ring_reduce_scatter(topology, single_ring(topology))
+        if name == "broadcast":
+            return tree_broadcast(topology, root=root)
+        if name == "reduce":
+            return tree_reduce(topology, root=root)
+    except Exception:
+        return None
+    return None
+
+
+def _baseline_response(request: PlanRequest, key: str, *, reason: str, started: float):
+    from ..interchange.plan import plan_from_algorithm
+
+    topology = request.resolve_topology()
+    algorithm = baseline_algorithm(request.collective, topology, root=request.root)
+    if algorithm is None:
+        return PlanResponse(
+            status="timeout",
+            request_key=key,
+            solve_time_s=time.monotonic() - started,
+            error=f"{reason}; no baseline algorithm for {request.collective} "
+            f"on {topology.name}",
+        )
+    plan = plan_from_algorithm(
+        algorithm,
+        provenance={"backend": "baseline", "fallback_reason": reason},
+    )
+    return PlanResponse(
+        status="ok",
+        request_key=key,
+        plan=plan.to_json(),
+        source="baseline",
+        solve_time_s=time.monotonic() - started,
+    )
+
+
+# ----------------------------------------------------------------------
+# The default resolver
+# ----------------------------------------------------------------------
+class SynthesisResolver:
+    """The cache -> synthesis -> baseline ladder (see module docstring)."""
+
+    def __init__(
+        self,
+        registry: PlanRegistry,
+        *,
+        max_steps_margin: int = 4,
+    ) -> None:
+        self.registry = registry
+        self.max_steps_margin = max_steps_margin
+        self.solves = 0           # backend solves performed (not replayed)
+        self.registry_hits = 0    # answers served with zero solver work
+        self._lock = threading.Lock()
+        # The broker coalesces on the full request key, which for routed
+        # requests includes the size — but routed requests for *different*
+        # sizes share one routing table, the expensive artifact.  These
+        # per-table locks serialize concurrent builds of the same table so
+        # a cold mixed-size burst runs one frontier sweep, not N.
+        self._table_locks: Dict[str, threading.Lock] = {}
+
+    # ------------------------------------------------------------------
+    def __call__(
+        self, request: PlanRequest, remaining_s: Optional[float] = None
+    ) -> PlanResponse:
+        if request.mode == "pinned":
+            return self._resolve_pinned(request, remaining_s)
+        return self._resolve_routed(request, remaining_s)
+
+    # ------------------------------------------------------------------
+    def _resolve_pinned(
+        self, request: PlanRequest, remaining_s: Optional[float]
+    ) -> PlanResponse:
+        from ..core import make_instance, synthesize
+        from ..interchange.plan import plan_from_result
+
+        key = request.request_key()
+        started = time.monotonic()
+
+        plan = self.registry.lookup_pinned(request)
+        if plan is not None:
+            with self._lock:
+                self.registry_hits += 1
+            return PlanResponse(
+                status="ok",
+                request_key=key,
+                plan=plan.to_json(),
+                source="cache",
+                solve_time_s=time.monotonic() - started,
+            )
+
+        topology = request.resolve_topology()
+        try:
+            instance = make_instance(
+                request.collective,
+                topology,
+                request.chunks,
+                request.steps,
+                request.rounds,
+                root=request.root,
+            )
+        except Exception as exc:
+            return PlanResponse(
+                status="error", request_key=key, error=str(exc),
+                solve_time_s=time.monotonic() - started,
+            )
+
+        with self._lock:
+            self.solves += 1
+        result = synthesize(
+            instance,
+            encoding=request.encoding,
+            prune=request.prune,
+            time_limit=_clamp_limit(remaining_s),
+            backend=request.backend,
+            cache=self.registry.cache,
+        )
+        if result.is_sat:
+            return PlanResponse(
+                status="ok",
+                request_key=key,
+                plan=plan_from_result(result).to_json(),
+                source="cache" if result.cache_hit else "synthesized",
+                solve_time_s=time.monotonic() - started,
+            )
+        if result.is_unsat:
+            return PlanResponse(
+                status="error",
+                request_key=key,
+                error=f"{request.describe()} is unsatisfiable",
+                solve_time_s=time.monotonic() - started,
+            )
+        # UNKNOWN: the solver hit the deadline; degrade to a baseline.
+        return _baseline_response(
+            request, key, reason="solver deadline exceeded", started=started
+        )
+
+    # ------------------------------------------------------------------
+    def _resolve_routed(
+        self, request: PlanRequest, remaining_s: Optional[float]
+    ) -> PlanResponse:
+        key = request.request_key()
+        started = time.monotonic()
+
+        routed = self.registry.route(request)
+        if routed is not None:
+            plan, entry, table = routed
+            with self._lock:
+                self.registry_hits += 1
+            return PlanResponse(
+                status="ok",
+                request_key=key,
+                plan=plan.to_json(),
+                source="registry",
+                solve_time_s=time.monotonic() - started,
+                route=_route_payload(entry, table),
+            )
+
+        # Miss: synthesize the frontier (incremental dispatcher), score it
+        # with the simulator, persist the table, then route.  Builds of the
+        # same table (routed requests differing only in size) serialize on
+        # a per-table lock; whoever waited re-checks the registry first.
+        with self._build_lock(request):
+            routed = self.registry.route(request)
+            if routed is not None:
+                plan, entry, table = routed
+                with self._lock:
+                    self.registry_hits += 1
+                return PlanResponse(
+                    status="ok",
+                    request_key=key,
+                    plan=plan.to_json(),
+                    source="registry",
+                    solve_time_s=time.monotonic() - started,
+                    route=_route_payload(entry, table),
+                )
+            try:
+                table = self._build_table(request, remaining_s)
+            except Exception as exc:
+                return PlanResponse(
+                    status="error", request_key=key, error=str(exc),
+                    solve_time_s=time.monotonic() - started,
+                )
+            if table is None:
+                return _baseline_response(
+                    request, key,
+                    reason="frontier synthesis exceeded the deadline",
+                    started=started,
+                )
+            self.registry.install_table(request, table)
+        entry = table.route(float(request.size_bytes))
+        if entry is None:  # pragma: no cover - tables tile [0, inf)
+            return _baseline_response(
+                request, key, reason="no routing entry", started=started
+            )
+        return PlanResponse(
+            status="ok",
+            request_key=key,
+            plan=table.plan_for(entry, verify=False).to_json(),
+            source="synthesized",
+            solve_time_s=time.monotonic() - started,
+            route=_route_payload(entry, table),
+        )
+
+    def _build_lock(self, request: PlanRequest) -> threading.Lock:
+        from .registry import routing_key
+
+        key = routing_key(
+            request.collective,
+            request.resolve_topology(),
+            root=request.root,
+            synchrony=request.synchrony,
+            encoding=request.encoding,
+            prune=request.prune,
+        )
+        with self._lock:
+            return self._table_locks.setdefault(key, threading.Lock())
+
+    def _build_table(self, request: PlanRequest, remaining_s: Optional[float]):
+        from ..core import pareto_synthesize
+
+        topology = request.resolve_topology()
+        with self._lock:
+            self.solves += 1
+        frontier = pareto_synthesize(
+            request.collective,
+            topology,
+            k=request.synchrony,
+            root=request.root,
+            time_limit_per_instance=_clamp_limit(remaining_s),
+            strategy="incremental",
+            backend=request.backend,
+            cache=self.registry.cache,
+        )
+        algorithms = frontier.algorithms()
+        if not algorithms:
+            return None
+        return build_routing_table(
+            request.collective,
+            topology,
+            algorithms,
+            root=request.root,
+            synchrony=request.synchrony,
+        )
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"solves": self.solves, "registry_hits": self.registry_hits}
+
+
+def _clamp_limit(remaining_s: Optional[float]) -> Optional[float]:
+    """Deadline -> engine time limit (never zero/negative: use a floor)."""
+    if remaining_s is None:
+        return None
+    return max(0.05, remaining_s)
+
+
+def _route_payload(entry, table) -> Dict[str, object]:
+    return {
+        "min_bytes": entry.min_bytes,
+        "max_bytes": entry.max_bytes,
+        "plan": entry.plan_name,
+        "signature": list(entry.signature),
+        "protocol": table.protocol,
+        "table_built_at": table.built_at,
+    }
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+class WorkerPool:
+    """Threads draining the broker through a resolver.
+
+    Planning work is dominated by the pure-Python SAT search, which
+    releases the GIL poorly — but the pool still wins: cache and registry
+    hits are I/O-bound, coalesced bursts collapse to one solve, and the
+    pool shape (``num_workers``) is the knob every future scaling PR
+    (multi-process workers, remote backends) will re-implement behind the
+    same broker contract.
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        resolver: Resolver,
+        *,
+        num_workers: int = 2,
+        poll_s: float = 0.1,
+    ) -> None:
+        if num_workers < 1:
+            raise WorkerError("num_workers must be at least 1")
+        self.broker = broker
+        self.resolver = resolver
+        self.num_workers = num_workers
+        self.poll_s = poll_s
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._threads:
+            raise WorkerError("pool already started")
+        self._stop.clear()
+        for index in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._run, name=f"planner-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, *, timeout: Optional[float] = 5.0) -> None:
+        self._stop.set()
+        self.broker.close()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads.clear()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            job = self.broker.next_job(timeout=self.poll_s)
+            if job is None:
+                continue
+            self._serve(job)
+        # Drain: answer anything still queued so no ticket hangs forever.
+        while True:
+            job = self.broker.next_job(timeout=0)
+            if job is None:
+                break
+            self._serve(job)
+
+    def _serve(self, job: Job) -> None:
+        try:
+            response = self.resolver(job.request, job.remaining_s())
+        except BaseException as exc:  # a resolver bug must not kill the pool
+            self.broker.fail(job, exc)
+        else:
+            self.broker.complete(job, response)
+
+
+# ----------------------------------------------------------------------
+# The facade
+# ----------------------------------------------------------------------
+class PlanningService:
+    """Broker + worker pool + registry in one start/stoppable object."""
+
+    def __init__(
+        self,
+        registry: Optional[PlanRegistry] = None,
+        *,
+        num_workers: int = 2,
+        resolver: Optional[Resolver] = None,
+        max_pending: Optional[int] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else PlanRegistry()
+        self.resolver = (
+            resolver if resolver is not None else SynthesisResolver(self.registry)
+        )
+        self.broker = Broker(max_pending=max_pending)
+        self.pool = WorkerPool(self.broker, self.resolver, num_workers=num_workers)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> "PlanningService":
+        if not self._started:
+            self.pool.start()
+            self._started = True
+        return self
+
+    def stop(self) -> None:
+        if self._started:
+            self.pool.stop()
+            self._started = False
+
+    def __enter__(self) -> "PlanningService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def submit(self, request: PlanRequest) -> Ticket:
+        if not self._started:
+            raise WorkerError("service is not started (use `with PlanningService(...)`) ")
+        return self.broker.submit(request)
+
+    def request(
+        self, request: PlanRequest, *, timeout: Optional[float] = None
+    ) -> PlanResponse:
+        """Submit and wait — the one-call path most users want.
+
+        ``timeout`` defaults to the request's deadline, falling back to
+        :data:`~repro.service.api.DEFAULT_DEADLINE_S` so a forgotten
+        deadline can never hang a caller forever.
+        """
+        ticket = self.submit(request)
+        if timeout is None:
+            timeout = request.deadline_s if request.deadline_s is not None else DEFAULT_DEADLINE_S
+        return ticket.wait(timeout)
+
+    def stats(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"broker": self.broker.stats()}
+        data["registry"] = self.registry.stats()
+        if hasattr(self.resolver, "stats"):
+            data["resolver"] = self.resolver.stats()
+        data["workers"] = self.pool.num_workers
+        return data

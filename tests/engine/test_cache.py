@@ -262,3 +262,76 @@ class TestEviction:
         ((_, reloaded),) = cache.entries()
         assert reloaded.instance is None
         assert "?" in reloaded.describe_instance()
+
+
+class TestConcurrentMutation:
+    """The planning-service prerequisite: threads sharing one cache
+    directory may store, look up and evict concurrently without corrupting
+    entries or raising."""
+
+    def _entry(self, key_suffix: str):
+        from repro.engine import CacheEntry
+
+        key = f"{key_suffix:0>64}"
+        return CacheEntry(key=key, status="unsat", backend="test", created_at=1.0)
+
+    def test_threads_store_lookup_evict_without_errors(self, tmp_path):
+        import threading
+
+        cache = AlgorithmCache(tmp_path / "shared")
+        errors = []
+        barrier = threading.Barrier(6)
+
+        def writer(offset):
+            try:
+                barrier.wait()
+                for index in range(30):
+                    cache.store(self._entry(f"{offset}{index:x}"))
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        def evictor():
+            try:
+                barrier.wait()
+                for _ in range(15):
+                    cache.evict(max_entries=10)
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(4)]
+        threads += [threading.Thread(target=evictor) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60.0)
+
+        assert errors == []
+        # A final eviction under the lock reaches a consistent, bounded
+        # state and every surviving entry is readable.
+        cache.evict(max_entries=10)
+        assert len(cache) <= 10
+        for _, entry in cache.entries():
+            assert entry.status == "unsat"
+
+    def test_concurrent_evictions_never_double_report(self, tmp_path):
+        """Two evictors pruning to the same limit must not both claim the
+        same victim (the fcntl lock serializes index mutations)."""
+        import threading
+
+        cache = AlgorithmCache(tmp_path / "shared")
+        for index in range(20):
+            cache.store(self._entry(f"{index:x}"))
+        results = []
+
+        def evictor():
+            results.append(cache.evict(max_entries=5))
+
+        threads = [threading.Thread(target=evictor) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+
+        evicted_a, evicted_b = results
+        assert not (set(evicted_a) & set(evicted_b))
+        assert len(cache) == 5

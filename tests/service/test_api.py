@@ -1,0 +1,112 @@
+"""PlanRequest/PlanResponse: validation, wire forms, content addressing."""
+
+import pytest
+
+from repro.engine import fingerprint
+from repro.service import PlanRequest, PlanResponse, ServiceError
+from repro.topology import ring
+
+
+class TestRequestValidation:
+    def test_pinned_and_routed_modes(self):
+        pinned = PlanRequest("Allgather", "ring:4", chunks=1, steps=2, rounds=3)
+        assert pinned.mode == "pinned"
+        routed = PlanRequest("Allgather", "ring:4", size_bytes=1 << 20)
+        assert routed.mode == "routed"
+
+    def test_partial_pin_rejected(self):
+        with pytest.raises(ServiceError):
+            PlanRequest("Allgather", "ring:4", chunks=1, steps=2).mode
+
+    def test_neither_mode_rejected(self):
+        with pytest.raises(ServiceError):
+            PlanRequest("Allgather", "ring:4").mode
+
+    def test_bad_topology_spec_rejected(self):
+        with pytest.raises(ServiceError):
+            PlanRequest("Allgather", "mesh:4", chunks=1, steps=2, rounds=3).validate()
+
+    def test_bad_ranges_rejected(self):
+        with pytest.raises(ServiceError):
+            PlanRequest("Allgather", "ring:4", chunks=0, steps=2, rounds=3).validate()
+        with pytest.raises(ServiceError):
+            PlanRequest("Allgather", "ring:4", size_bytes=0).validate()
+        with pytest.raises(ServiceError):
+            PlanRequest(
+                "Allgather", "ring:4", chunks=1, steps=2, rounds=3, deadline_s=0
+            ).validate()
+
+
+class TestContentAddressing:
+    def test_pinned_key_reuses_engine_fingerprint(self):
+        request = PlanRequest("Allgather", "ring:4", chunks=1, steps=2, rounds=3)
+        assert request.request_key() == fingerprint("Allgather", ring(4), 1, 2, 3)
+
+    def test_deadline_and_backend_do_not_affect_key(self):
+        base = PlanRequest("Allgather", "ring:4", chunks=1, steps=2, rounds=3)
+        patient = PlanRequest(
+            "Allgather", "ring:4", chunks=1, steps=2, rounds=3,
+            deadline_s=1.0, backend="cdcl",
+        )
+        assert base.request_key() == patient.request_key()
+
+    def test_topology_spelling_does_not_affect_key(self):
+        # Content addressing is structural: ring:4 at bandwidth 1 written
+        # two ways must coalesce.
+        a = PlanRequest("Allgather", "ring:4", chunks=1, steps=2, rounds=3)
+        b = PlanRequest("Allgather", "ring:4:1", chunks=1, steps=2, rounds=3)
+        assert a.request_key() == b.request_key()
+
+    def test_routed_keys_distinguish_work(self):
+        base = PlanRequest("Allgather", "ring:4", size_bytes=1 << 20)
+        assert base.request_key() == PlanRequest(
+            "Allgather", "ring:4", size_bytes=1 << 20
+        ).request_key()
+        assert base.request_key() != PlanRequest(
+            "Allgather", "ring:4", size_bytes=1 << 21
+        ).request_key()
+        assert base.request_key() != PlanRequest(
+            "Allgather", "ring:6", size_bytes=1 << 20
+        ).request_key()
+        assert base.request_key() != PlanRequest(
+            "Broadcast", "ring:4", size_bytes=1 << 20
+        ).request_key()
+
+
+class TestWireForms:
+    def test_request_roundtrip(self):
+        request = PlanRequest(
+            "Allgather", "ring:4", chunks=2, steps=3, rounds=4,
+            deadline_s=5.0, backend="cdcl",
+        )
+        again = PlanRequest.from_json(request.to_json())
+        assert again == request
+
+    def test_routed_request_roundtrip(self):
+        request = PlanRequest("Allgather", "dgx1", size_bytes=1 << 20, synchrony=1)
+        again = PlanRequest.from_json(request.to_json())
+        assert again == request
+        assert again.request_key() == request.request_key()
+
+    def test_from_json_validates(self):
+        with pytest.raises(ServiceError):
+            PlanRequest.from_json({"collective": "Allgather"})
+        with pytest.raises(ServiceError):
+            PlanRequest.from_json("not an object")
+
+    def test_response_roundtrip(self):
+        response = PlanResponse(
+            status="ok", request_key="abc", plan=None, source="cache",
+            solve_time_s=0.5, wait_time_s=0.1, coalesced=True,
+            route={"plan": "x"},
+        )
+        again = PlanResponse.from_json(response.to_json())
+        assert again.status == "ok" and again.coalesced and again.route == {"plan": "x"}
+
+    def test_response_rejects_bad_status(self):
+        with pytest.raises(ServiceError):
+            PlanResponse.from_json({"status": "weird"})
+
+    def test_plan_object_requires_plan(self):
+        with pytest.raises(ServiceError):
+            PlanResponse(status="error", request_key="k").plan_object()

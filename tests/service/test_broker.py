@@ -1,0 +1,261 @@
+"""Broker semantics under contention: coalescing, deadlines, cancellation.
+
+The acceptance criterion for the service PR lives here: N concurrent
+identical requests perform exactly one unit of backend work, counted by a
+shim resolver (and, one level up, by the real resolver's solve counter in
+``test_server.py``'s sibling tests).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    Broker,
+    BrokerError,
+    PlanRequest,
+    PlanResponse,
+    PlanningService,
+    WorkerPool,
+)
+
+REQUEST = PlanRequest("Allgather", "ring:4", chunks=1, steps=2, rounds=3)
+OTHER = PlanRequest("Allgather", "ring:4", chunks=1, steps=2, rounds=4)
+
+
+class CountingResolver:
+    """Shim backend: counts invocations, optionally gated on an event."""
+
+    def __init__(self, *, gate: threading.Event = None, delay: float = 0.0):
+        self.calls = 0
+        self.keys = []
+        self.gate = gate
+        self.delay = delay
+        self._lock = threading.Lock()
+
+    def __call__(self, request, remaining_s=None):
+        if self.gate is not None:
+            assert self.gate.wait(10.0), "resolver gate never opened"
+        if self.delay:
+            time.sleep(self.delay)
+        with self._lock:
+            self.calls += 1
+            self.keys.append(request.request_key())
+        return PlanResponse(status="ok", request_key=request.request_key(), source="cache")
+
+
+class TestCoalescing:
+    def test_identical_queued_requests_coalesce_to_one_job(self):
+        broker = Broker()
+        tickets = [broker.submit(REQUEST) for _ in range(8)]
+        stats = broker.stats()
+        assert stats["submitted"] == 8
+        assert stats["coalesced"] == 7
+        assert stats["pending"] == 1  # one job for eight callers
+        assert tickets[0].key == tickets[7].key
+
+    def test_eight_threads_one_synthesis(self):
+        """8 concurrent identical PlanRequests -> exactly 1 backend call."""
+        gate = threading.Event()
+        resolver = CountingResolver(gate=gate)
+        broker = Broker()
+        pool = WorkerPool(broker, resolver, num_workers=4)
+        pool.start()
+        try:
+            barrier = threading.Barrier(8)
+            responses = [None] * 8
+
+            def caller(index):
+                barrier.wait()
+                ticket = broker.submit(REQUEST)
+                responses[index] = ticket.wait(10.0)
+
+            threads = [threading.Thread(target=caller, args=(i,)) for i in range(8)]
+            for thread in threads:
+                thread.start()
+            # Open the gate only after every caller has submitted, so the
+            # in-flight window provably spans all eight submissions.
+            while broker.stats()["submitted"] < 8:
+                time.sleep(0.005)
+            gate.set()
+            for thread in threads:
+                thread.join(10.0)
+        finally:
+            pool.stop()
+
+        assert resolver.calls == 1
+        assert all(r is not None and r.ok for r in responses)
+        assert sum(1 for r in responses if r.coalesced) == 7
+        assert sum(1 for r in responses if not r.coalesced) == 1
+        assert broker.stats()["coalescing_ratio"] == pytest.approx(7 / 8)
+
+    def test_distinct_requests_do_not_coalesce(self):
+        resolver = CountingResolver()
+        broker = Broker()
+        pool = WorkerPool(broker, resolver, num_workers=2)
+        pool.start()
+        try:
+            first = broker.submit(REQUEST)
+            second = broker.submit(OTHER)
+            assert first.wait(10.0).ok and second.wait(10.0).ok
+        finally:
+            pool.stop()
+        assert resolver.calls == 2
+        assert broker.stats()["coalesced"] == 0
+
+    def test_completed_job_does_not_capture_later_requests(self):
+        resolver = CountingResolver()
+        broker = Broker()
+        pool = WorkerPool(broker, resolver, num_workers=1)
+        pool.start()
+        try:
+            assert broker.submit(REQUEST).wait(10.0).ok
+            assert broker.submit(REQUEST).wait(10.0).ok
+        finally:
+            pool.stop()
+        # No in-flight overlap: two submissions, two resolutions.
+        assert resolver.calls == 2
+
+
+class TestDeadlines:
+    def test_wait_expires_into_timeout_response(self):
+        gate = threading.Event()  # never opened: the job hangs
+        broker = Broker()
+        pool = WorkerPool(broker, CountingResolver(gate=gate), num_workers=1)
+        pool.start()
+        try:
+            ticket = broker.submit(REQUEST)
+            response = ticket.wait(0.2)
+            assert response.status == "timeout"
+            assert "deadline" in response.error
+            assert broker.stats()["expired"] == 1
+        finally:
+            gate.set()
+            pool.stop()
+
+    def test_request_deadline_is_the_default_wait(self):
+        gate = threading.Event()
+        broker = Broker()
+        pool = WorkerPool(broker, CountingResolver(gate=gate), num_workers=1)
+        pool.start()
+        try:
+            impatient = PlanRequest(
+                "Allgather", "ring:4", chunks=1, steps=2, rounds=3, deadline_s=0.2
+            )
+            started = time.monotonic()
+            response = broker.submit(impatient).wait()
+            assert response.status == "timeout"
+            assert time.monotonic() - started < 5.0
+        finally:
+            gate.set()
+            pool.stop()
+
+    def test_late_result_still_lands_for_patient_waiters(self):
+        gate = threading.Event()
+        broker = Broker()
+        pool = WorkerPool(broker, CountingResolver(gate=gate), num_workers=1)
+        pool.start()
+        try:
+            impatient = broker.submit(REQUEST)
+            patient = broker.submit(REQUEST)
+            assert impatient.wait(0.1).status == "timeout"
+            gate.set()
+            response = patient.wait(10.0)
+            assert response.ok and response.coalesced
+        finally:
+            pool.stop()
+
+
+class TestCancellation:
+    def test_cancel_before_start_drops_the_job(self):
+        broker = Broker()  # no workers: the job stays queued
+        ticket = broker.submit(REQUEST)
+        assert ticket.cancel()
+        assert ticket.wait(0.1).status == "cancelled"
+        stats = broker.stats()
+        assert stats["cancelled"] == 1
+        assert stats["dropped_jobs"] == 1
+        assert broker.next_job(timeout=0) is None  # nothing left to run
+
+    def test_cancel_one_of_many_keeps_the_job(self):
+        broker = Broker()
+        first = broker.submit(REQUEST)
+        second = broker.submit(REQUEST)
+        assert first.cancel()
+        assert broker.stats()["dropped_jobs"] == 0
+        pool = WorkerPool(broker, CountingResolver(), num_workers=1)
+        pool.start()
+        try:
+            assert second.wait(10.0).ok
+        finally:
+            pool.stop()
+
+    def test_cancel_after_completion_returns_false(self):
+        broker = Broker()
+        pool = WorkerPool(broker, CountingResolver(), num_workers=1)
+        pool.start()
+        try:
+            ticket = broker.submit(REQUEST)
+            assert ticket.wait(10.0).ok
+            assert not ticket.cancel()
+        finally:
+            pool.stop()
+
+    def test_dropped_job_is_recoalescable(self):
+        broker = Broker()
+        broker.submit(REQUEST).cancel()
+        fresh = broker.submit(REQUEST)
+        assert not fresh.coalesced  # the dropped job must not capture it
+        assert broker.stats()["pending"] == 1
+
+
+class TestFailuresAndLimits:
+    def test_resolver_exception_becomes_error_response(self):
+        def explode(request, remaining_s=None):
+            raise RuntimeError("backend on fire")
+
+        broker = Broker()
+        pool = WorkerPool(broker, explode, num_workers=1)
+        pool.start()
+        try:
+            response = broker.submit(REQUEST).wait(10.0)
+            assert response.status == "error"
+            assert "backend on fire" in response.error
+            # The pool survives a resolver crash and serves the next job.
+            ok = broker.submit(OTHER).wait(10.0)
+            assert ok.status == "error"
+        finally:
+            pool.stop()
+
+    def test_queue_limit_rejects_excess_jobs(self):
+        broker = Broker(max_pending=1)
+        broker.submit(REQUEST)
+        broker.submit(REQUEST)  # coalesces: not a new job
+        with pytest.raises(BrokerError):
+            broker.submit(OTHER)
+
+    def test_closed_broker_rejects_submissions(self):
+        broker = Broker()
+        broker.close()
+        with pytest.raises(BrokerError):
+            broker.submit(REQUEST)
+
+    def test_invalid_request_rejected_at_submit(self):
+        from repro.service import ServiceError
+
+        broker = Broker()
+        with pytest.raises(ServiceError):
+            broker.submit(PlanRequest("Allgather", "ring:4", chunks=1))
+
+
+class TestServiceFacade:
+    def test_stop_drains_pending_jobs(self):
+        """Stopping the service must not strand submitted tickets."""
+        resolver = CountingResolver(delay=0.05)
+        service = PlanningService(resolver=resolver, num_workers=1)
+        service.start()
+        tickets = [service.submit(r) for r in (REQUEST, OTHER)]
+        service.stop()
+        for ticket in tickets:
+            assert ticket.wait(5.0).ok

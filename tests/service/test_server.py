@@ -1,0 +1,172 @@
+"""HTTP layer: in-process round-trips plus the CI subprocess smoke path
+(`repro serve` + `repro request` + `repro run` as real processes)."""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.engine import AlgorithmCache
+from repro.service import (
+    PlanRegistry,
+    PlanRequest,
+    PlanningService,
+    ServerThread,
+    ServiceError,
+    check_health,
+    make_server,
+    request_plan,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = str(REPO_ROOT / "src")
+
+
+@pytest.fixture
+def service(tmp_path):
+    registry = PlanRegistry(
+        cache=AlgorithmCache(tmp_path / "algorithms"),
+        routes_dir=tmp_path / "routes",
+    )
+    with PlanningService(registry, num_workers=2) as svc:
+        yield svc
+
+
+@pytest.fixture
+def server_url(service):
+    with ServerThread(make_server(service, port=0)) as thread:
+        yield thread.url
+
+
+class TestHTTP:
+    def test_health_and_stats(self, server_url):
+        assert check_health(server_url)
+        with urllib.request.urlopen(server_url + "/v1/stats", timeout=5) as reply:
+            stats = json.loads(reply.read())
+        assert "broker" in stats and "registry" in stats
+
+    def test_plan_round_trip(self, server_url):
+        request = PlanRequest(
+            "Allgather", "ring:4", chunks=1, steps=2, rounds=3, deadline_s=60
+        )
+        response = request_plan(server_url, request)
+        assert response.ok and response.source == "synthesized"
+        plan = response.plan_object()  # re-verifies against the spec
+        assert plan.algorithm.signature() == (1, 2, 3)
+        warm = request_plan(server_url, request)
+        assert warm.ok and warm.source == "cache"
+
+    def test_unsat_surfaces_as_http_422_with_payload(self, server_url):
+        response = request_plan(
+            server_url,
+            PlanRequest("Allgather", "ring:4", chunks=1, steps=1, rounds=1, deadline_s=60),
+        )
+        assert response.status == "error"
+        assert "unsatisfiable" in response.error
+
+    def test_malformed_body_is_a_clean_400(self, server_url):
+        body = b"{not json"
+        http_request = urllib.request.Request(
+            server_url + "/v1/plan", data=body,
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(http_request, timeout=5)
+        assert info.value.code == 400
+
+    def test_unknown_endpoint_404(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(server_url + "/nope", timeout=5)
+        assert info.value.code == 404
+
+    def test_unreachable_service_raises_service_error(self):
+        with pytest.raises(ServiceError):
+            request_plan(
+                "http://127.0.0.1:9",  # discard port: nothing listens
+                PlanRequest("Allgather", "ring:4", chunks=1, steps=2, rounds=3),
+                timeout=0.5,
+            )
+
+
+class TestSubprocessSmoke:
+    """The CI smoke step: serve, request and run as real processes."""
+
+    def _env(self, cache_dir):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_CACHE_DIR"] = str(cache_dir)
+        return env
+
+    def test_serve_request_run_round_trip(self, tmp_path):
+        env = self._env(tmp_path / "cache")
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", "--port", "0",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--routes-dir", str(tmp_path / "routes"),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        try:
+            banner = server.stdout.readline()
+            match = re.search(r"http://([\d.]+):(\d+)", banner)
+            assert match, f"no listening banner in {banner!r}"
+            url = match.group(0)
+            for _ in range(100):
+                if check_health(url):
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("service never became healthy")
+
+            plan_path = tmp_path / "plan.json"
+            request = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "request",
+                    "Allgather", "-t", "ring:4", "-C", "1", "-S", "2", "-R", "3",
+                    "--deadline", "120", "--url", url, "-o", str(plan_path),
+                ],
+                capture_output=True, text=True, env=env, cwd=REPO_ROOT, timeout=300,
+            )
+            assert request.returncode == 0, request.stderr
+            assert "-> ok" in request.stdout
+            assert plan_path.exists()
+            assert json.loads(plan_path.read_text())["format"] == "repro-sccl/plan"
+
+            # The returned bundle re-verifies on import and executes.
+            run = subprocess.run(
+                [sys.executable, "-m", "repro", "run", str(plan_path)],
+                capture_output=True, text=True, env=env, cwd=REPO_ROOT, timeout=300,
+            )
+            assert run.returncode == 0, run.stderr
+            assert "re-verified" in run.stdout
+            assert "functional execution: OK" in run.stdout
+        finally:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            finally:
+                server.stdout.close()
+
+    def test_request_local_answers_without_a_server(self, tmp_path):
+        env = self._env(tmp_path / "cache")
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "request",
+                "Allgather", "-t", "ring:4", "-C", "1", "-S", "2", "-R", "3",
+                "--local", "--cache-dir", str(tmp_path / "cache"),
+            ],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT, timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "-> ok" in result.stdout

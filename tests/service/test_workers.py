@@ -1,0 +1,195 @@
+"""Resolver ladder (cache -> synthesis -> baseline) and the service facade."""
+
+import threading
+
+import pytest
+
+from repro.engine import AlgorithmCache
+from repro.service import (
+    PlanRegistry,
+    PlanRequest,
+    PlanningService,
+    SynthesisResolver,
+    baseline_algorithm,
+)
+from repro.solver import SolveResult
+from repro.topology import ring
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return PlanRegistry(
+        cache=AlgorithmCache(tmp_path / "algorithms"),
+        routes_dir=tmp_path / "routes",
+    )
+
+
+PINNED = PlanRequest("Allgather", "ring:4", chunks=1, steps=2, rounds=3)
+ROUTED = PlanRequest("Allgather", "ring:4", size_bytes=1 << 20, synchrony=1)
+
+
+class TestResolverLadder:
+    def test_pinned_miss_synthesizes_then_hits_cache(self, registry):
+        resolver = SynthesisResolver(registry)
+        cold = resolver(PINNED, None)
+        assert cold.ok and cold.source == "synthesized"
+        cold.plan_object().algorithm.verify()
+        warm = resolver(PINNED, None)
+        assert warm.ok and warm.source == "cache"
+        assert resolver.stats()["solves"] == 1
+        assert resolver.stats()["registry_hits"] == 1
+
+    def test_unsat_request_is_an_error(self, registry):
+        resolver = SynthesisResolver(registry)
+        response = resolver(
+            PlanRequest("Allgather", "ring:4", chunks=1, steps=1, rounds=1), None
+        )
+        assert response.status == "error"
+        assert "unsatisfiable" in response.error
+
+    def test_unknown_degrades_to_baseline(self, registry, monkeypatch):
+        """Solver deadline exceeded -> a verified baseline, not an error."""
+        from repro.core.synthesizer import SynthesisResult
+
+        def fake_synthesize(instance, **kwargs):
+            return SynthesisResult(instance=instance, status=SolveResult.UNKNOWN)
+
+        import repro.core
+
+        monkeypatch.setattr(repro.core, "synthesize", fake_synthesize)
+        resolver = SynthesisResolver(registry)
+        response = resolver(PINNED, 0.1)
+        assert response.ok and response.source == "baseline"
+        plan = response.plan_object()
+        assert plan.algorithm.collective == "Allgather"
+        assert plan.provenance["backend"] == "baseline"
+
+    def test_unknown_without_baseline_times_out(self, registry, monkeypatch):
+        from repro.core.synthesizer import SynthesisResult
+
+        def fake_synthesize(instance, **kwargs):
+            return SynthesisResult(instance=instance, status=SolveResult.UNKNOWN)
+
+        import repro.core
+
+        monkeypatch.setattr(repro.core, "synthesize", fake_synthesize)
+        resolver = SynthesisResolver(registry)
+        # Alltoall has no hand-written baseline in repro.baselines.
+        response = resolver(
+            PlanRequest("Alltoall", "fc:4", chunks=1, steps=1, rounds=1), 0.1
+        )
+        assert response.status == "timeout"
+        assert "no baseline" in response.error
+
+    def test_routed_builds_persists_and_reroutes(self, registry):
+        resolver = SynthesisResolver(registry)
+        cold = resolver(ROUTED, None)
+        assert cold.ok and cold.source == "synthesized"
+        assert cold.route is not None
+        warm = resolver(ROUTED, None)
+        assert warm.ok and warm.source == "registry"
+        # A different size reuses the same persisted table: no new solve.
+        other = resolver(
+            PlanRequest("Allgather", "ring:4", size_bytes=1 << 10, synchrony=1), None
+        )
+        assert other.ok and other.source == "registry"
+        assert resolver.stats()["solves"] == 1
+
+    def test_combining_pinned_request_is_a_clean_error(self, registry):
+        resolver = SynthesisResolver(registry)
+        response = resolver(
+            PlanRequest("Allreduce", "ring:4", chunks=1, steps=2, rounds=3), None
+        )
+        assert response.status == "error"
+        assert "combining" in response.error
+
+    def test_routed_combining_collective_works(self, registry):
+        # Routed mode goes through pareto_synthesize, which handles the
+        # Section 3.5 delegation for combining collectives.
+        resolver = SynthesisResolver(registry)
+        response = resolver(
+            PlanRequest("Allreduce", "ring:4", size_bytes=1 << 20, synchrony=1), None
+        )
+        assert response.ok
+        plan = response.plan_object()
+        assert plan.algorithm.collective == "Allreduce"
+
+
+class TestRoutedBuildCoalescing:
+    def test_mixed_size_burst_builds_one_table(self, registry):
+        """Routed requests for different sizes share one routing table:
+        a cold concurrent burst must run one frontier build, not N."""
+        resolver = SynthesisResolver(registry)
+        sizes = [1 << (10 + i) for i in range(8)]
+        with PlanningService(registry, num_workers=4, resolver=resolver) as service:
+            barrier = threading.Barrier(len(sizes))
+            responses = [None] * len(sizes)
+
+            def caller(index):
+                barrier.wait()
+                responses[index] = service.request(
+                    PlanRequest(
+                        "Allgather", "ring:4", size_bytes=sizes[index], synchrony=1
+                    ),
+                    timeout=120.0,
+                )
+
+            threads = [
+                threading.Thread(target=caller, args=(i,)) for i in range(len(sizes))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(120.0)
+
+        assert all(r is not None and r.ok for r in responses)
+        assert resolver.stats()["solves"] == 1  # one pareto sweep for all sizes
+        assert len(registry.tables()) == 1
+
+
+class TestBaselines:
+    @pytest.mark.parametrize(
+        "collective", ["Allgather", "Allreduce", "Reducescatter", "Broadcast", "Reduce"]
+    )
+    def test_baseline_algorithms_verify(self, collective):
+        algorithm = baseline_algorithm(collective, ring(4))
+        assert algorithm is not None
+        algorithm.verify()
+        assert algorithm.collective == collective
+
+    def test_no_baseline_for_alltoall(self):
+        assert baseline_algorithm("Alltoall", ring(4)) is None
+
+
+class TestEndToEndCoalescing:
+    def test_eight_concurrent_identical_requests_one_solve(self, registry):
+        """The acceptance criterion through the REAL resolver: 8 threads,
+        one backend solve, seven coalesced waiters."""
+        resolver = SynthesisResolver(registry)
+        with PlanningService(registry, num_workers=4, resolver=resolver) as service:
+            barrier = threading.Barrier(8)
+            responses = [None] * 8
+
+            def caller(index):
+                barrier.wait()
+                responses[index] = service.request(PINNED, timeout=60.0)
+
+            threads = [threading.Thread(target=caller, args=(i,)) for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(60.0)
+
+            stats = service.stats()
+
+        assert all(r is not None and r.ok for r in responses)
+        for response in responses:
+            response.plan_object().algorithm.verify()
+        # Every caller that shared another's in-flight work is marked; the
+        # solver ran at most once (cache hits can substitute under unlucky
+        # scheduling, but never a second solve).
+        assert resolver.stats()["solves"] <= 1
+        coalesced = stats["broker"]["coalesced"]
+        solves = resolver.stats()["solves"]
+        hits = resolver.stats()["registry_hits"]
+        assert coalesced + solves + hits == 8
