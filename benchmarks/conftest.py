@@ -10,7 +10,10 @@ the whole benchmark suite in the minutes range.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
+from typing import Dict, Iterable
 
 import pytest
 
@@ -22,6 +25,52 @@ def full_scale() -> bool:
 #: Per-instance synthesis time budget (seconds) for benchmark runs.
 def synthesis_budget() -> float:
     return float(os.environ.get("SCCL_TIME_LIMIT", "300" if full_scale() else "90"))
+
+
+def cpu_parallelism() -> int:
+    """Cores available to process-pool strategies (1 = no real parallelism)."""
+    return os.cpu_count() or 1
+
+
+def bench_dir() -> Path:
+    """Where BENCH_*.json artifacts land (repo root, or $SCCL_BENCH_DIR)."""
+    root = os.environ.get("SCCL_BENCH_DIR") or Path(__file__).resolve().parents[1]
+    return Path(root)
+
+
+def write_bench_json(filename: str, payload: dict) -> Path:
+    """Persist one benchmark's JSON artifact for CI to archive."""
+    path = bench_dir() / filename
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def phase_totals(results: Iterable) -> Dict[str, float]:
+    """Aggregate per-phase timings from SynthesisResults.
+
+    Every bench JSON should carry an encode/solve/verify split so a future
+    perf regression can be attributed to the phase that caused it instead
+    of showing up as an opaque wall-clock delta.  Cache replays are counted
+    separately — their timings describe the original solve, not this run.
+    """
+    phases = {
+        "encode_s": 0.0,
+        "solve_s": 0.0,
+        "verify_s": 0.0,
+        "probes": 0,
+        "cache_replays": 0,
+    }
+    for result in results:
+        if result.cache_hit:
+            phases["cache_replays"] += 1
+            continue
+        phases["probes"] += 1
+        phases["encode_s"] += result.encode_time
+        phases["solve_s"] += result.solve_time
+        phases["verify_s"] += result.verify_time
+    for key in ("encode_s", "solve_s", "verify_s"):
+        phases[key] = round(phases[key], 4)
+    return phases
 
 
 @pytest.fixture(scope="session")

@@ -10,18 +10,21 @@ should select at each buffer size (the "switch by input size" behaviour of
 Section 5.5).
 
 The enumeration runs on the synthesis engine: ``--strategy incremental``
-(the default) encodes each fixed-(S, C) family once and probes rounds
-budgets through assumption literals, ``--strategy parallel --jobs N`` fans
-candidates across N worker processes with results identical to the serial
-loop, and solved frontiers persist in the algorithm cache so re-running the
-script is instant.
+(the default) encodes one shared-prefix family per step count and probes
+every (C, R) candidate through assumption literals, ``--strategy parallel
+--jobs N`` fans one step count's candidates across N worker processes,
+``--strategy speculative`` additionally starts the next step count while
+the current one is still solving (both commit in cost order, so results
+are identical to the serial loop), and solved frontiers persist in the
+algorithm cache so re-running the script is instant.
 
 The full enumeration down to the 7-step bandwidth-optimal algorithm takes a
 while on the pure-Python solver; by default the script stops after 4 steps.
 Pass --max-steps 7 to reproduce the entire k=0 column of Table 4.
 
 Run:  python examples/dgx1_pareto_frontier.py [--max-steps N] [--k K]
-          [--strategy serial|incremental|parallel] [--jobs N] [--no-cache]
+          [--strategy serial|incremental|parallel|speculative] [--jobs N]
+          [--no-cache]
 """
 
 import argparse
@@ -40,10 +43,10 @@ def main() -> None:
     parser.add_argument("--time-limit", type=float, default=120.0,
                         help="per-instance solver budget in seconds")
     parser.add_argument("--strategy", default="incremental",
-                        choices=("serial", "incremental", "parallel"),
+                        choices=("serial", "incremental", "parallel", "speculative"),
                         help="candidate-sweep strategy")
     parser.add_argument("--jobs", type=int, default=None,
-                        help="worker processes for --strategy parallel")
+                        help="worker processes for --strategy parallel/speculative")
     parser.add_argument("--backend", default=None,
                         help=f"solver backend (available: {', '.join(available_backends())})")
     parser.add_argument("--no-cache", action="store_true",

@@ -8,8 +8,9 @@ Subcommands
     the algorithm as MSCCL-style XML or a plan bundle.
 ``repro pareto``
     Run Pareto-Synthesize (Algorithm 1) with any engine strategy
-    (serial / incremental / parallel) and backend, print the Table 4/5-style
-    rows and optionally export every frontier algorithm.
+    (serial / incremental / parallel / speculative, the latter with
+    optional ``--portfolio`` backend racing) and backend, print the
+    Table 4/5-style rows and optionally export every frontier algorithm.
 ``repro export``
     Emit a cached (or plan-bundled) algorithm as XML or a plan.
 ``repro import``
@@ -170,6 +171,11 @@ def _cmd_pareto(args) -> int:
 
     topology = _topology(args)
     cache = _resolve_cache(args)
+    portfolio = None
+    if args.portfolio:
+        portfolio = [name.strip() for name in args.portfolio.split(",") if name.strip()]
+        if not portfolio:
+            raise CliError("--portfolio needs at least one backend name")
     try:
         frontier = pareto_synthesize(
             args.collective,
@@ -183,6 +189,7 @@ def _cmd_pareto(args) -> int:
             strategy=args.strategy,
             max_workers=args.max_workers,
             backend=args.backend,
+            portfolio=portfolio,
             cache=cache,
         )
     except Exception as exc:
@@ -655,11 +662,16 @@ def build_parser() -> argparse.ArgumentParser:
     pareto.add_argument("--max-steps", type=int, default=None)
     pareto.add_argument("--max-chunks", type=int, default=None)
     pareto.add_argument(
-        "--strategy", choices=("serial", "incremental", "parallel"),
+        "--strategy", choices=("serial", "incremental", "parallel", "speculative"),
         default="incremental", help="candidate-sweep strategy (default incremental)",
     )
     pareto.add_argument("--max-workers", type=int, default=None,
-                        help="worker processes for --strategy parallel")
+                        help="worker processes for --strategy parallel/speculative")
+    pareto.add_argument(
+        "--portfolio", default=None, metavar="BACKENDS",
+        help="comma-separated solver backends raced per candidate "
+        "(requires --strategy speculative); first SAT/UNSAT verdict wins",
+    )
     pareto.add_argument("--export-dir", default=None,
                         help="write every frontier algorithm into this directory")
     pareto.add_argument("--export-format", choices=("xml", "plan", "both"), default="xml")

@@ -46,7 +46,13 @@ from .cost import (
     pareto_frontier,
     speedup,
 )
-from .encoding import EncodingError, EncodingStats, NaiveEncoding, ScclEncoding
+from .encoding import (
+    EncodingError,
+    EncodingStats,
+    NaiveEncoding,
+    PrefixAnalysis,
+    ScclEncoding,
+)
 from .instance import InstanceError, SynCollInstance, make_instance
 from .pareto import (
     ParetoError,
@@ -73,6 +79,7 @@ __all__ = [
     "EncodingStats",
     "InstanceError",
     "NaiveEncoding",
+    "PrefixAnalysis",
     "ParetoError",
     "ParetoFrontier",
     "ParetoPoint",

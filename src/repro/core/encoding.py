@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..collectives import get_collective
 from ..solver import IntVar, SmtLite
 from ..topology import shortest_path_lengths
 from .algorithm import Algorithm, Send, Step
@@ -41,6 +42,71 @@ from .instance import SynCollInstance
 
 class EncodingError(Exception):
     """Raised when an instance cannot be encoded (e.g. unreachable chunk)."""
+
+
+class PrefixAnalysis:
+    """Chunk-reachability tables shared across a family of encodings.
+
+    The distance tables the encoder uses for pruning depend only on the
+    topology and on each chunk's own pre/post placements — never on the
+    step count ``S`` or the rounds budget ``R`` — and the Table 1 relations
+    are *prefix-stable* in the per-node chunk count ``C``: growing ``C``
+    appends new global chunk ids without moving the placements of existing
+    ones.  One ``PrefixAnalysis`` therefore serves every encoding of a
+    ``(S, C)`` lattice: the all-pairs shortest paths are computed once and
+    the per-chunk rows are extended monotonically as larger instances
+    arrive (:meth:`ensure`).
+    """
+
+    def __init__(self, topology) -> None:
+        self.topology = topology
+        self.distances = shortest_path_lengths(topology)
+        self.chunk_dist: Dict[Tuple[int, int], Optional[int]] = {}
+        self.need_dist: Dict[Tuple[int, int], Optional[int]] = {}
+        self._chunks_covered = 0
+
+    def ensure(self, instance: SynCollInstance) -> "PrefixAnalysis":
+        """Extend the tables to cover ``instance``'s chunks; returns self."""
+        other = instance.topology
+        # The tables depend on the link structure, so identity of name alone
+        # is not enough — a same-named topology with different links would
+        # silently poison the pruning.
+        if other is not self.topology and (
+            other.num_nodes != self.topology.num_nodes
+            or sorted(other.links()) != sorted(self.topology.links())
+        ):
+            raise EncodingError(
+                f"analysis built for topology {self.topology.name!r} cannot "
+                f"serve the structurally different {other.name!r}"
+            )
+        lo, hi = self._chunks_covered, instance.num_chunks
+        if hi <= lo:
+            return self
+        sources: Dict[int, List[int]] = {c: [] for c in range(lo, hi)}
+        needers: Dict[int, List[int]] = {c: [] for c in range(lo, hi)}
+        for (chunk, node) in instance.precondition:
+            if lo <= chunk < hi:
+                sources[chunk].append(node)
+        for (chunk, node) in instance.postcondition:
+            if lo <= chunk < hi:
+                needers[chunk].append(node)
+        nodes = list(self.topology.nodes())
+        for chunk in range(lo, hi):
+            for node in nodes:
+                best: Optional[int] = None
+                for src in sources[chunk]:
+                    d = self.distances.get(src, {}).get(node)
+                    if d is not None and (best is None or d < best):
+                        best = d
+                self.chunk_dist[(chunk, node)] = best
+                best = None
+                for dst in needers[chunk]:
+                    d = self.distances.get(node, {}).get(dst)
+                    if d is not None and (best is None or d < best):
+                        best = d
+                self.need_dist[(chunk, node)] = best
+        self._chunks_covered = hi
+        return self
 
 
 def _chunk_sources(instance: SynCollInstance) -> Dict[int, List[int]]:
@@ -121,6 +187,23 @@ class ScclEncoding:
     ``S .. R_max``.  One encoding (and one solver, via
     :class:`repro.engine.session.IncrementalSession`) then serves every
     rounds candidate of a fixed-``S`` sweep.
+
+    With ``chunk_selector=True`` the encoding additionally becomes
+    *chunks-incremental* (the shared-prefix form): the instance's per-node
+    chunk count acts as a budget ``C_max``, each chunk level ``l`` (the
+    global chunks appended when ``C`` grows from ``l - 1`` to ``l``) gets
+    an enable literal, postconditions are guarded by their level's enable,
+    and every send variable implies its level's enable.
+    :meth:`chunks_assumptions` then pins the effective per-node chunk count
+    to any ``C <= C_max``: disabled levels cannot send, owe no
+    postcondition, and contribute nothing to the bandwidth counts (their
+    activation literals are free to be false), so satisfiability under a
+    ``(C, R)`` assumption frame coincides with a cold encode of the
+    ``(S, C, R)`` instance.  This relies on the Table 1 relations being
+    prefix-stable in ``C`` (see :class:`PrefixAnalysis`), which
+    :meth:`extend_chunks` re-checks before growing the budget in place —
+    appending new levels' variables and clauses to the same formula instead
+    of re-encoding the shared time/send substructure.
     """
 
     def __init__(
@@ -128,6 +211,8 @@ class ScclEncoding:
         instance: SynCollInstance,
         prune: bool = True,
         rounds_budget: Optional[int] = None,
+        chunk_selector: bool = False,
+        analysis: Optional[PrefixAnalysis] = None,
     ) -> None:
         if rounds_budget is not None and rounds_budget < instance.rounds:
             raise EncodingError(
@@ -137,6 +222,8 @@ class ScclEncoding:
         self.instance = instance
         self.prune = prune
         self.rounds_budget = rounds_budget
+        self.chunk_selector = chunk_selector
+        self.analysis = analysis
         self.ctx = SmtLite(name=f"sccl_{instance.collective}")
         # Variable maps populated by encode().
         self.time_vars: Dict[Tuple[int, int], IntVar] = {}
@@ -150,6 +237,17 @@ class ScclEncoding:
         self._round_bools: List[int] = []
         self._count_ge: List[int] = []
         self._false_ge: List[int] = []
+        # Chunk-selector layer: one enable literal per chunk level, the
+        # level index of each global chunk, and the per-(constraint, step)
+        # bandwidth terms kept for in-place extension.
+        self._level_lits: List[int] = []
+        self._chunk_level: List[int] = []
+        self._bandwidth_terms: Dict[Tuple[int, int], List[int]] = {}
+        self._activation: Dict[Tuple[int, int, int, int], int] = {}
+        self._chunk_dist: Dict[Tuple[int, int], Optional[int]] = {}
+        self._need_dist: Dict[Tuple[int, int], Optional[int]] = {}
+        self._links: List[Tuple[int, int]] = []
+        self._in_links: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------
     # Encoding
@@ -163,32 +261,21 @@ class ScclEncoding:
         R = instance.rounds
         G = instance.num_chunks
         topology = instance.topology
-        links = sorted(topology.links())
-        chunk_dist = _chunk_distances(instance)
-        need_dist = _destination_distances(instance)
+        self._links = sorted(topology.links())
+        self._in_links = {n: topology.in_neighbors(n) for n in topology.nodes()}
+        if self.analysis is not None:
+            self.analysis.ensure(instance)
+            self._chunk_dist = self.analysis.chunk_dist
+            self._need_dist = self.analysis.need_dist
+        else:
+            self._chunk_dist = _chunk_distances(instance)
+            self._need_dist = _destination_distances(instance)
 
-        # --- time[c, n] variables -------------------------------------------------
-        # Domain 0..S+1; S+1 encodes "not present within the algorithm".
-        for chunk in range(G):
-            for node in topology.nodes():
-                iv = ctx.new_int(0, S + 1, name=f"time_c{chunk}_n{node}")
-                self.time_vars[(chunk, node)] = iv
-                lower = chunk_dist[(chunk, node)]
-                if self.prune:
-                    if lower is None:
-                        # The chunk can never reach this node.
-                        iv.fix(S + 1)
-                    elif lower > 0:
-                        # A chunk cannot arrive earlier than its graph distance.
-                        iv.require_ge(min(lower, S + 1))
+        if self.chunk_selector:
+            self._ensure_levels(instance.chunks_per_node)
 
-        # --- snd[c, src, dst] variables --------------------------------------------
-        for chunk in range(G):
-            for (src, dst) in links:
-                if self.prune and not self._send_useful(chunk, src, dst, chunk_dist, need_dist):
-                    continue
-                lit = ctx.new_bool(name=f"snd_c{chunk}_{src}_{dst}")
-                self.send_vars[(chunk, src, dst)] = lit
+        # --- time[c, n] and snd[c, src, dst] variables -----------------------------
+        self._encode_placement_vars(0, G)
 
         # --- r[s] round variables ---------------------------------------------------
         # Rounds are per-step; each step performs at least one round (steps
@@ -202,22 +289,83 @@ class ScclEncoding:
                 ctx.new_int(min_rounds, budget - (S - 1) * min_rounds, name=f"rounds_{s}")
             )
 
+        # --- C1-C4 over the chunk range, C5 over the accumulated terms --------------
+        self._encode_chunk_constraints(0, G)
+        self._encode_bandwidth(0, G)
+
+        # --- C6: total rounds -----------------------------------------------------------
+        if self.rounds_budget is None:
+            from ..solver.intvar import unary_sum_equals
+
+            unary_sum_equals(ctx.cnf, self.round_vars, R)
+        else:
+            self._build_rounds_selector()
+
+        self._refresh_stats()
+        self._encoded = True
+        return ctx
+
+    def _encode_placement_vars(self, lo: int, hi: int) -> None:
+        """Time and send variables (plus selector guards) for chunks [lo, hi)."""
+        ctx = self.ctx
+        S = self.instance.steps
+        nodes = list(self.instance.topology.nodes())
+        # Domain 0..S+1; S+1 encodes "not present within the algorithm".
+        for chunk in range(lo, hi):
+            for node in nodes:
+                iv = ctx.new_int(0, S + 1, name=f"time_c{chunk}_n{node}")
+                self.time_vars[(chunk, node)] = iv
+                lower = self._chunk_dist[(chunk, node)]
+                if self.prune:
+                    if lower is None:
+                        # The chunk can never reach this node.
+                        iv.fix(S + 1)
+                    elif lower > 0:
+                        # A chunk cannot arrive earlier than its graph distance.
+                        iv.require_ge(min(lower, S + 1))
+        for chunk in range(lo, hi):
+            for (src, dst) in self._links:
+                if self.prune and not self._send_useful(chunk, src, dst):
+                    continue
+                lit = ctx.new_bool(name=f"snd_c{chunk}_{src}_{dst}")
+                self.send_vars[(chunk, src, dst)] = lit
+                if self.chunk_selector:
+                    # A send of a disabled chunk level is forbidden, so a
+                    # frame assumption cleanly zeroes the level out.
+                    ctx.add_clause_fast([-lit, self._level_lits[self._chunk_level[chunk]]])
+
+    def _encode_chunk_constraints(self, lo: int, hi: int) -> None:
+        """Constraints C1-C4 restricted to the chunk range [lo, hi)."""
+        ctx = self.ctx
+        instance = self.instance
+        S = instance.steps
+
         # --- C1/C2: pre- and post-conditions ----------------------------------------
         for (chunk, node) in instance.precondition:
+            if not lo <= chunk < hi:
+                continue
             self.time_vars[(chunk, node)].fix(0)
         for (chunk, node) in instance.postcondition:
-            self.time_vars[(chunk, node)].require_le(S)
+            if not lo <= chunk < hi:
+                continue
+            if self.chunk_selector:
+                # The postcondition only binds while the chunk's level is on.
+                ctx.add_clause_fast([
+                    -self._level_lits[self._chunk_level[chunk]],
+                    self.time_vars[(chunk, node)].le_lit(S),
+                ])
+            else:
+                self.time_vars[(chunk, node)].require_le(S)
 
         # --- C3: unique reception ----------------------------------------------------
-        in_links: Dict[int, List[int]] = {n: topology.in_neighbors(n) for n in topology.nodes()}
-        for chunk in range(G):
-            for node in topology.nodes():
+        for chunk in range(lo, hi):
+            for node in instance.topology.nodes():
                 if (chunk, node) in instance.precondition:
                     continue
                 present = self.time_vars[(chunk, node)].le_lit(S)
                 incoming = [
                     self.send_vars[(chunk, src, node)]
-                    for src in in_links[node]
+                    for src in self._in_links[node]
                     if (chunk, src, node) in self.send_vars
                 ]
                 if not incoming:
@@ -226,60 +374,74 @@ class ScclEncoding:
                     ctx.add_unit(-present)
                     continue
                 # present -> exactly one incoming send
-                ctx.add_clause([-present] + incoming)
+                ctx.add_clause_fast([-present] + incoming)
                 ctx.at_most_one(incoming)
                 # any incoming send -> present within S steps
                 for lit in incoming:
-                    ctx.add_clause([-lit, present])
+                    ctx.add_clause_fast([-lit, present])
 
         # --- C4: causality ------------------------------------------------------------
         for (chunk, src, dst), snd in self.send_vars.items():
+            if not lo <= chunk < hi:
+                continue
             time_src = self.time_vars[(chunk, src)]
             time_dst = self.time_vars[(chunk, dst)]
             # Sending requires the chunk to reach the destination within S steps.
-            ctx.add_clause([-snd, time_dst.le_lit(S)])
+            ctx.add_clause_fast([-snd, time_dst.le_lit(S)])
             for s in range(0, S + 1):
                 # snd ∧ time_dst <= s  ->  time_src <= s - 1
-                ctx.add_clause([-snd, -time_dst.le_lit(s), time_src.le_lit(s - 1)])
+                ctx.add_clause_fast([-snd, -time_dst.le_lit(s), time_src.le_lit(s - 1)])
 
-        # --- C5: per-step bandwidth ----------------------------------------------------
-        # Auxiliary activation literals a[c, (src,dst), s]:
-        #   (snd ∧ time_dst == s) -> a
-        # Only this direction is needed because the activations appear in
-        # upper-bound (<=) constraints.
-        activation: Dict[Tuple[int, int, int, int], int] = {}
+    def _activation_lit(self, chunk: int, src: int, dst: int, s: int) -> Optional[int]:
+        """Auxiliary activation literal a[c, (src,dst), s]: (snd ∧ time_dst == s) -> a.
 
-        def activation_lit(chunk: int, src: int, dst: int, s: int) -> Optional[int]:
-            key = (chunk, src, dst, s)
-            if key in activation:
-                return activation[key]
-            snd = self.send_vars.get((chunk, src, dst))
-            if snd is None:
-                return None
-            time_dst = self.time_vars[(chunk, dst)]
-            # If arrival at step s is impossible, no activation needed.
-            lower = chunk_dist[(chunk, dst)]
-            if self.prune and lower is not None and s < lower:
-                return None
-            arrives_at_s = time_dst.eq_lits(s)
-            if any(lit == ctx.false_lit for lit in arrives_at_s):
-                return None
-            a = ctx.new_bool(name=f"act_c{chunk}_{src}_{dst}_s{s}")
-            ctx.add_clause([-snd] + [-lit for lit in arrives_at_s] + [a])
-            activation[key] = a
-            self.stats.aux_vars += 1
-            return a
+        Only this direction is needed because the activations appear in
+        upper-bound (<=) constraints.
+        """
+        ctx = self.ctx
+        key = (chunk, src, dst, s)
+        if key in self._activation:
+            return self._activation[key]
+        snd = self.send_vars.get((chunk, src, dst))
+        if snd is None:
+            return None
+        time_dst = self.time_vars[(chunk, dst)]
+        # If arrival at step s is impossible, no activation needed.
+        lower = self._chunk_dist[(chunk, dst)]
+        if self.prune and lower is not None and s < lower:
+            return None
+        arrives_at_s = time_dst.eq_lits(s)
+        if any(lit == ctx.false_lit for lit in arrives_at_s):
+            return None
+        a = ctx.new_bool(name=f"act_c{chunk}_{src}_{dst}_s{s}")
+        ctx.add_clause_fast([-snd] + [-lit for lit in arrives_at_s] + [a])
+        self._activation[key] = a
+        self.stats.aux_vars += 1
+        return a
 
-        for constraint in topology.constraints:
+    def _encode_bandwidth(self, lo: int, hi: int) -> None:
+        """Constraint C5: per-step bandwidth counts.
+
+        Activation terms for chunks in [lo, hi) are appended to the
+        per-(constraint, step) term lists; the cardinality link to the
+        round variables is then (re-)emitted over the *full* list.  On
+        extension the constraints already emitted over the old prefix stay
+        in the formula — they are sound under-counts — and the fresh
+        emission restores completeness over the grown term set.
+        """
+        ctx = self.ctx
+        S = self.instance.steps
+        for ci, constraint in enumerate(self.instance.topology.constraints):
             b = constraint.bandwidth
             for s in range(1, S + 1):
-                terms: List[int] = []
-                for chunk in range(G):
+                terms = self._bandwidth_terms.setdefault((ci, s), [])
+                before = len(terms)
+                for chunk in range(lo, hi):
                     for (src, dst) in constraint.links:
-                        a = activation_lit(chunk, src, dst, s)
+                        a = self._activation_lit(chunk, src, dst, s)
                         if a is not None:
                             terms.append(a)
-                if not terms:
+                if not terms or (lo > 0 and len(terms) == before):
                     continue
                 r_s = self.round_vars[s - 1]
                 if r_s.lo == r_s.hi:
@@ -294,23 +456,118 @@ class ScclEncoding:
                 for j in range(0, r_s.hi + 1):
                     threshold = b * j + 1
                     if threshold <= len(outputs):
-                        ctx.add_clause([-outputs[threshold - 1], r_s.ge_lit(j + 1)])
+                        ctx.add_clause_fast([-outputs[threshold - 1], r_s.ge_lit(j + 1)])
 
-        # --- C6: total rounds -----------------------------------------------------------
-        if self.rounds_budget is None:
-            from ..solver.intvar import unary_sum_equals
-
-            unary_sum_equals(ctx.cnf, self.round_vars, R)
-        else:
-            self._build_rounds_selector()
-
-        cnf_stats = ctx.stats()
+    def _refresh_stats(self) -> None:
+        cnf_stats = self.ctx.stats()
         self.stats.variables = cnf_stats["variables"]
         self.stats.clauses = cnf_stats["clauses"]
         self.stats.send_vars = len(self.send_vars)
         self.stats.time_vars = len(self.time_vars)
-        self._encoded = True
-        return ctx
+
+    # ------------------------------------------------------------------
+    # Chunk-selector layer (shared-prefix form)
+    # ------------------------------------------------------------------
+    def _ensure_levels(self, chunks_per_node: int) -> None:
+        """Enable literals and the chunk -> level map up to ``chunks_per_node``."""
+        spec = get_collective(self.instance.collective)
+        nodes = self.instance.topology.num_nodes
+        while len(self._level_lits) < chunks_per_node:
+            level = len(self._level_lits) + 1
+            lit = self.ctx.new_bool(name=f"chunks_ge_{level}")
+            if self._level_lits:
+                # Enabled levels form a prefix: level l on implies l-1 on,
+                # so a frame needs only two assumption literals.
+                self.ctx.add_clause_fast([-lit, self._level_lits[-1]])
+            self._level_lits.append(lit)
+            for _ in range(spec.global_chunks(nodes, level) - len(self._chunk_level)):
+                self._chunk_level.append(level - 1)
+
+    def extend_chunks(self, instance: SynCollInstance) -> SmtLite:
+        """Grow the chunk budget in place to serve ``instance``'s chunk count.
+
+        Appends the new levels' time/send variables and their C1-C4
+        clauses, re-links C5 over the grown activation term lists, and
+        leaves every existing variable and clause untouched — the shared
+        time/send substructure is extended, not re-encoded.  The caller
+        must reload any solver handle (the formula grew).
+        """
+        if not self._encoded:
+            raise EncodingError("encode() must be called before extend_chunks()")
+        if not self.chunk_selector:
+            raise EncodingError("extend_chunks() requires a chunk_selector encoding")
+        old = self.instance
+        if (
+            instance.collective != old.collective
+            or instance.topology.name != old.topology.name
+            or instance.steps != old.steps
+            or instance.rounds != old.rounds
+            or instance.root != old.root
+        ):
+            raise EncodingError(
+                "extend_chunks(): instance may differ from the encoded one only "
+                "in its chunk count"
+            )
+        if instance.chunks_per_node < old.chunks_per_node:
+            raise EncodingError(
+                f"cannot shrink the chunk budget ({old.chunks_per_node} -> "
+                f"{instance.chunks_per_node}); use chunks_assumptions() instead"
+            )
+        if instance.chunks_per_node == old.chunks_per_node:
+            return self.ctx
+        # The extension is only sound when existing chunks keep their
+        # placements — true for every Table 1 relation, re-checked here so
+        # an exotic future collective cannot silently corrupt the family.
+        if not (
+            old.precondition <= instance.precondition
+            and old.postcondition <= instance.postcondition
+        ):
+            raise EncodingError(
+                f"{old.collective} placements are not prefix-stable in the "
+                f"chunk count; cannot extend the encoding in place"
+            )
+        lo, hi = old.num_chunks, instance.num_chunks
+        if self.analysis is not None:
+            self.analysis.ensure(instance)
+        else:
+            self._chunk_dist = _chunk_distances(instance)
+            self._need_dist = _destination_distances(instance)
+        self.instance = instance
+        self._ensure_levels(instance.chunks_per_node)
+        self._encode_placement_vars(lo, hi)
+        self._encode_chunk_constraints(lo, hi)
+        self._encode_bandwidth(lo, hi)
+        self._refresh_stats()
+        return self.ctx
+
+    def chunks_assumptions(self, chunks_per_node: int) -> List[int]:
+        """Assumption literals enabling exactly the first ``chunks_per_node`` levels."""
+        if not self.chunk_selector:
+            raise EncodingError("chunks_assumptions requires a chunk_selector encoding")
+        if not self._encoded:
+            raise EncodingError("encode() must be called before chunks_assumptions()")
+        if not 1 <= chunks_per_node <= self.instance.chunks_per_node:
+            raise EncodingError(
+                f"chunk count {chunks_per_node} outside the encoded budget "
+                f"[1, {self.instance.chunks_per_node}]"
+            )
+        assumptions = [self._level_lits[chunks_per_node - 1]]
+        if chunks_per_node < len(self._level_lits):
+            # The monotone chain turns this into "all higher levels off".
+            assumptions.append(-self._level_lits[chunks_per_node])
+        return assumptions
+
+    def frame_assumptions(self, chunks_per_node: int, rounds: int) -> List[int]:
+        """The per-``(C, R)`` assumption frame for one lattice candidate."""
+        assumptions = self.chunks_assumptions(chunks_per_node)
+        if self.rounds_budget is not None:
+            assumptions.extend(self.rounds_assumptions(rounds))
+        elif rounds != self.instance.rounds:
+            raise EncodingError(
+                f"rounds {rounds} differs from the encoded total "
+                f"{self.instance.rounds} and no rounds budget was requested"
+            )
+        return assumptions
 
     # ------------------------------------------------------------------
     # Rounds-budget selector layer
@@ -364,39 +621,54 @@ class ScclEncoding:
             assumptions.append(-self._false_ge[n - target])
         return assumptions
 
-    def _send_useful(
-        self,
-        chunk: int,
-        src: int,
-        dst: int,
-        chunk_dist: Dict[Tuple[int, int], Optional[int]],
-        need_dist: Dict[Tuple[int, int], Optional[int]],
-    ) -> bool:
+    def _send_useful(self, chunk: int, src: int, dst: int) -> bool:
         """Prune send variables that can never appear in a valid schedule."""
         S = self.instance.steps
-        reach_src = chunk_dist[(chunk, src)]
+        reach_src = self._chunk_dist[(chunk, src)]
         if reach_src is None or reach_src + 1 > S:
             return False
         # After arriving at dst (taking at least reach_src + 1 steps), the
         # chunk must still be able to serve some node that needs it.
-        useful_at = need_dist[(chunk, dst)]
+        useful_at = self._need_dist[(chunk, dst)]
         if useful_at is None:
             return False
-        earliest_arrival = max(chunk_dist[(chunk, dst)] or 0, reach_src + 1)
+        earliest_arrival = max(self._chunk_dist[(chunk, dst)] or 0, reach_src + 1)
         return earliest_arrival + useful_at <= S + 0 if useful_at > 0 else earliest_arrival <= S
 
     # ------------------------------------------------------------------
     # Decoding
     # ------------------------------------------------------------------
-    def decode(self, model: Dict[int, bool], name: Optional[str] = None) -> Algorithm:
-        """Turn a satisfying assignment into an :class:`Algorithm` (Q, T)."""
+    def decode(
+        self,
+        model: Dict[int, bool],
+        name: Optional[str] = None,
+        *,
+        instance: Optional[SynCollInstance] = None,
+    ) -> Algorithm:
+        """Turn a satisfying assignment into an :class:`Algorithm` (Q, T).
+
+        ``instance`` selects the frame to decode against: a chunk-selector
+        encoding solved under :meth:`frame_assumptions` passes the framed
+        ``(S, C, R)`` instance here, and sends of disabled chunk levels
+        (which the frame forced false) are skipped.
+        """
         if not self._encoded:
             raise EncodingError("encode() must be called before decode()")
-        instance = self.instance
+        if instance is None:
+            instance = self.instance
+        elif instance.num_chunks > self.instance.num_chunks or (
+            instance.steps != self.instance.steps
+        ):
+            raise EncodingError(
+                f"frame instance {instance.describe()!r} is not a chunk prefix "
+                f"of the encoded instance {self.instance.describe()!r}"
+            )
         S = instance.steps
         rounds = [SmtLite.int_value(model, rv) for rv in self.round_vars]
         sends_by_step: List[List[Send]] = [[] for _ in range(S)]
         for (chunk, src, dst), lit in self.send_vars.items():
+            if chunk >= instance.num_chunks:
+                continue  # disabled level of a chunk-selector encoding
             if not SmtLite.bool_value(model, lit):
                 continue
             arrival = SmtLite.int_value(model, self.time_vars[(chunk, dst)])

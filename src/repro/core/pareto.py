@@ -207,6 +207,7 @@ def pareto_synthesize(
     strategy: str = "incremental",
     max_workers: Optional[int] = None,
     backend: Optional[str] = None,
+    portfolio: Optional[Sequence[str]] = None,
     cache=None,
 ) -> ParetoFrontier:
     """Run Algorithm 1 for a collective on a topology.
@@ -227,13 +228,20 @@ def pareto_synthesize(
         candidates, which are skipped but recorded (``proved=False``).
     strategy:
         Candidate-sweep execution strategy: ``"incremental"`` (default; one
-        encoding per distinct chunk count via assumption-based probing),
-        ``"serial"`` (cold encode+solve per candidate, the paper's loop) or
-        ``"parallel"`` (process-pool fan-out with serial-replay semantics).
+        shared-prefix encoding per step count probed via per-candidate
+        assumption frames), ``"serial"`` (cold encode+solve per candidate,
+        the paper's loop), ``"parallel"`` (process-pool fan-out within one
+        step count, serial-replay semantics) or ``"speculative"``
+        (cross-step pipeline: candidates for S+1 start while S is still in
+        flight, committed in cost order so the frontier stays byte-identical
+        to the serial loop).
     max_workers:
-        Worker-process count for the parallel strategy.
+        Worker-process count for the parallel/speculative strategies.
     backend:
         Registered solver-backend name (default ``"cdcl"``).
+    portfolio:
+        Solver-backend names to race per candidate (speculative strategy
+        only); the first SAT/UNSAT verdict wins.
     cache:
         An :class:`~repro.engine.cache.AlgorithmCache`; hits replay persisted
         SAT/UNSAT probes without touching the solver.
@@ -261,11 +269,12 @@ def pareto_synthesize(
             strategy=strategy,
             max_workers=max_workers,
             backend=backend,
+            portfolio=portfolio,
             cache=cache,
         )
 
     start_time = time.monotonic()
-    dispatcher = make_dispatcher(strategy, max_workers=max_workers)
+    dispatcher = make_dispatcher(strategy, max_workers=max_workers, portfolio=portfolio)
     sweep_stats = SweepStats()
     a_l, b_l = lower_bounds(spec.name, topology, root=root)
     if max_steps is None:
@@ -280,11 +289,8 @@ def pareto_synthesize(
         backend=get_backend(backend).name,
     )
 
-    reached_bandwidth_optimal = False
-    for steps in range(a_l, max_steps + 1):
-        if reached_bandwidth_optimal and stop_at_bandwidth_optimal:
-            break
-        request = SweepRequest(
+    def build_request(steps: int) -> SweepRequest:
+        return SweepRequest(
             collective=spec.name,
             topology=topology,
             steps=steps,
@@ -295,7 +301,9 @@ def pareto_synthesize(
             time_limit=time_limit_per_instance,
             conflict_limit=conflict_limit,
         )
-        outcome = dispatcher.sweep(request, cache=cache)
+
+    def ingest_sweep(steps: int, outcome) -> bool:
+        """Fold one sweep outcome into the frontier; True at bandwidth-optimal."""
         sweep_stats.merge(outcome.stats)
         proved = True
         unsat_probes = 0
@@ -326,14 +334,57 @@ def pareto_synthesize(
                 cache_hit=result.cache_hit,
             )
             frontier.points.append(point)
-            if point.bandwidth_optimal:
-                reached_bandwidth_optimal = True
-            break
-        else:
-            # No satisfiable candidate at this step count; keep increasing S.
-            continue
+            return point.bandwidth_optimal
+        # No satisfiable candidate at this step count; keep increasing S.
+        return False
+
+    step_counts = list(range(a_l, max_steps + 1))
+    if hasattr(dispatcher, "sweep_many"):
+        # Cross-S pipeline: hand the dispatcher the whole sweep sequence so
+        # it can speculate past the step count currently being decided.  The
+        # stop predicate mirrors Algorithm 1's termination test; committed
+        # outcomes are folded in enumeration order, so the frontier (and
+        # the exhausted_steps flag) matches the serial loop exactly.
+        def stop_predicate(outcome) -> bool:
+            if not stop_at_bandwidth_optimal:
+                return False
+            first_sat = outcome.first_sat
+            return first_sat is not None and (
+                Fraction(
+                    first_sat.instance.rounds, first_sat.instance.chunks_per_node
+                )
+                == b_l
+            )
+
+        outcomes = dispatcher.sweep_many(
+            [build_request(steps) for steps in step_counts],
+            cache=cache,
+            stop=stop_predicate,
+        )
+        stopped_at: Optional[int] = None
+        for index, outcome in enumerate(outcomes):
+            if outcome is None:
+                break  # cancelled speculative sweeps past the stop point
+            reached = ingest_sweep(step_counts[index], outcome)
+            if reached and stop_at_bandwidth_optimal:
+                stopped_at = index
+                break
+        # The serial loop only skips its for-else when it breaks at the top
+        # of a *later* iteration, so stopping on the final step count still
+        # reports the budget as exhausted.
+        frontier.exhausted_steps = stopped_at is None or (
+            stopped_at == len(step_counts) - 1
+        )
     else:
-        frontier.exhausted_steps = True
+        reached_bandwidth_optimal = False
+        for steps in step_counts:
+            if reached_bandwidth_optimal and stop_at_bandwidth_optimal:
+                break
+            outcome = dispatcher.sweep(build_request(steps), cache=cache)
+            if ingest_sweep(steps, outcome):
+                reached_bandwidth_optimal = True
+        else:
+            frontier.exhausted_steps = True
 
     _mark_pareto_optimal(frontier)
     frontier.total_time = time.monotonic() - start_time
@@ -363,6 +414,7 @@ def _pareto_synthesize_combining(
     strategy: str = "incremental",
     max_workers: Optional[int] = None,
     backend: Optional[str] = None,
+    portfolio: Optional[Sequence[str]] = None,
     cache=None,
 ) -> ParetoFrontier:
     """Reduce Reducescatter / Reduce / Allreduce synthesis to the non-combining base."""
@@ -384,6 +436,7 @@ def _pareto_synthesize_combining(
         strategy=strategy,
         max_workers=max_workers,
         backend=backend,
+        portfolio=portfolio,
         cache=cache,
     )
     frontier = ParetoFrontier(

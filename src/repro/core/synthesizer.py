@@ -40,6 +40,7 @@ class SynthesisResult:
     algorithm: Optional[Algorithm] = None
     encode_time: float = 0.0
     solve_time: float = 0.0
+    verify_time: float = 0.0
     encoding_stats: Dict[str, int] = field(default_factory=dict)
     solver_stats: Dict[str, float] = field(default_factory=dict)
     encoding: str = "sccl"
@@ -165,12 +166,14 @@ def synthesize(
     if status is SolveResult.SAT:
         algorithm = encoder.decode(handle.model(), name=name)
         if verify:
+            start = time.monotonic()
             try:
                 algorithm.verify()
             except Exception as exc:  # pragma: no cover - encoder bug guard
                 raise SynthesisError(
                     f"decoded algorithm fails verification: {exc}"
                 ) from exc
+            result.verify_time = time.monotonic() - start
         result.algorithm = algorithm
     if cache is not None:
         store_result(cache, result, encoding=encoding, prune=prune)

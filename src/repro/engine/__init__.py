@@ -45,13 +45,14 @@ from .dispatch import (
     IncrementalDispatcher,
     ParallelDispatcher,
     SerialDispatcher,
+    SpeculativeDispatcher,
     STRATEGIES,
     SweepOutcome,
     SweepRequest,
     SweepStats,
     make_dispatcher,
 )
-from .session import IncrementalSession, SessionError
+from .session import IncrementalSession, SessionError, SessionFamily
 
 __all__ = [
     "AlgorithmCache",
@@ -72,7 +73,9 @@ __all__ = [
     "STRATEGIES",
     "SerialDispatcher",
     "SessionError",
+    "SessionFamily",
     "SolverBackend",
+    "SpeculativeDispatcher",
     "SolverHandle",
     "SweepOutcome",
     "SweepRequest",

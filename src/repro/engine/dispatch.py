@@ -6,32 +6,46 @@ interchangeable strategies for executing that probe list:
 
 * :class:`SerialDispatcher` — the paper's loop: one cold encode+solve per
   candidate, in cost order, stopping at the first SAT.
-* :class:`IncrementalDispatcher` — groups candidates by chunk count ``C``
-  and drives each group through one
-  :class:`~repro.engine.session.IncrementalSession`, so a fixed-``S`` sweep
-  pays one encoding per distinct ``C`` instead of one per candidate.
+* :class:`IncrementalDispatcher` — drives each fixed-``S`` sweep through a
+  :class:`~repro.engine.session.SessionFamily`: one shared-prefix encoding
+  per step count serves *every* ``(R, C)`` candidate via per-candidate
+  assumption frames, so a sweep pays one encoding total (previously one
+  per distinct ``C``), and the reachability analysis is shared across step
+  counts.
 * :class:`ParallelDispatcher` — fans candidates across a process pool and
   then *replays* the serial decision rule over the results in candidate
   order, so the reported outcome (and hence the Pareto frontier) is
   byte-identical to the serial path; the parallelism is opportunistic, in
   the PopPy sense — extra completed probes past the first SAT are discarded.
+* :class:`SpeculativeDispatcher` — the cross-``S`` pipeline: given the whole
+  sweep sequence (:meth:`~SpeculativeDispatcher.sweep_many`), it keeps the
+  pool fed with candidates from the next ``lookahead`` step counts while
+  the current one is still in flight, cancels losers the moment a cheaper
+  SAT lands, and commits results strictly in cost order — so its frontier
+  is byte-identical to the serial dispatcher's even though completion order
+  is arbitrary.  An optional backend *portfolio* races several solver
+  backends on each candidate and takes the first SAT/UNSAT verdict.
 
-All three consult and populate the algorithm cache when one is supplied,
-and report uniform :class:`SweepStats` so callers can account encodes,
-solver calls and cache hits.
+All dispatchers consult and populate the algorithm cache when one is
+supplied, and report uniform :class:`SweepStats` so callers can account
+encodes, solver calls and cache hits.  The process-pool dispatchers ship
+the shared sweep context (topology, limits, backend objects) once per
+worker via the pool initializer; per-candidate task payloads are just the
+``(S, R, C, backend)`` tuple.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.instance import make_instance
 from ..topology import Topology
 from .backends import get_backend
 from .cache import AlgorithmCache, lookup_result, store_result
-from .session import IncrementalSession
+from .session import SessionFamily
 
 
 class DispatchError(Exception):
@@ -147,25 +161,46 @@ class SerialDispatcher:
 
 
 class IncrementalDispatcher:
-    """Assumption-based probing: one encoding per distinct chunk count.
+    """Assumption-based probing over shared-prefix family encodings.
 
-    Falls back to the serial dispatcher for the naive ablation encoding,
-    which has no rounds-budget selector layer.
+    Each sweep is served by a :class:`SessionFamily` held across ``sweep``
+    calls, so a whole Pareto run pays one encoding per step count — every
+    ``(R, C)`` candidate is an assumption frame over it — and the
+    reachability analysis behind variable pruning is computed once per
+    (collective, topology).  Falls back to the serial dispatcher for the
+    naive ablation encoding, which has no selector layers.
     """
 
     name = "incremental"
+
+    def __init__(self) -> None:
+        self._families: Dict[tuple, SessionFamily] = {}
+
+    def _family(self, request: SweepRequest) -> SessionFamily:
+        key = (
+            request.collective, id(request.topology), request.root,
+            request.prune, request.backend or "",
+        )
+        family = self._families.get(key)
+        if family is None:
+            family = SessionFamily(
+                request.collective,
+                request.topology,
+                root=request.root,
+                prune=request.prune,
+                backend=request.backend,
+            )
+            self._families[key] = family
+        return family
 
     def sweep(self, request: SweepRequest, cache: Optional[AlgorithmCache] = None) -> SweepOutcome:
         if request.encoding != "sccl":
             return SerialDispatcher().sweep(request, cache)
 
         outcome = SweepOutcome()
-        sessions: Dict[int, IncrementalSession] = {}
-        max_rounds_per_chunks: Dict[int, int] = {}
-        for rounds, chunks in request.candidates:
-            max_rounds_per_chunks[chunks] = max(
-                max_rounds_per_chunks.get(chunks, request.steps), rounds
-            )
+        family = self._family(request)
+        max_chunks = max((c for _, c in request.candidates), default=1)
+        max_rounds = max((r for r, _ in request.candidates), default=request.steps)
         for rounds, chunks in request.candidates:
             cached = _cached_result(request, rounds, chunks, cache)
             if cached is not None:
@@ -173,26 +208,17 @@ class IncrementalDispatcher:
                 outcome.stats.cache_hits += 1
                 outcome.stats.candidates_probed += 1
             else:
-                session = sessions.get(chunks)
-                if session is None:
-                    session = IncrementalSession(
-                        request.collective,
-                        request.topology,
-                        chunks,
-                        request.steps,
-                        max_rounds_per_chunks[chunks],
-                        root=request.root,
-                        prune=request.prune,
-                        backend=request.backend,
-                    )
-                    sessions[chunks] = session
-                before = session.encode_calls
-                result = session.solve(
+                before = family.encode_calls
+                result = family.solve(
+                    request.steps,
+                    chunks,
                     rounds,
+                    max_chunks=max_chunks,
+                    max_rounds=max_rounds,
                     time_limit=request.time_limit,
                     conflict_limit=request.conflict_limit,
                 )
-                outcome.stats.encode_calls += session.encode_calls - before
+                outcome.stats.encode_calls += family.encode_calls - before
                 outcome.stats.solver_calls += 1
                 outcome.stats.candidates_probed += 1
                 if cache is not None:
@@ -205,31 +231,74 @@ class IncrementalDispatcher:
         return outcome
 
 
-def _solve_candidate_worker(payload: dict):
-    """Top-level worker for the process pool (must be picklable by name)."""
-    from ..core.synthesizer import synthesize
+# ----------------------------------------------------------------------
+# Process-pool workers
+# ----------------------------------------------------------------------
+#: Per-worker sweep context installed by the pool initializer, so the
+#: request payload (topology object, limits, backend objects) is pickled
+#: once per worker instead of once per candidate task.
+_WORKER_SHARED: Optional[dict] = None
+
+
+def _init_candidate_worker(shared: dict) -> None:
+    """Pool initializer: install the shared sweep context in this worker.
+
+    A worker process starts with a fresh registry (only the default and
+    any import-time backends), so runtime-registered backends travel as
+    pickled objects once per worker and are re-registered here.
+    """
+    global _WORKER_SHARED
     from .backends import register_backend
 
-    # A worker process starts with a fresh registry (only the default and
-    # any import-time backends), so runtime-registered backends travel as
-    # pickled objects and are re-registered here.
-    backend_obj = payload["backend_obj"]
-    if backend_obj is not None:
+    for backend_obj in shared.get("backend_objs", ()):
         register_backend(backend_obj, replace=True)
-    cache = AlgorithmCache(payload["cache_dir"]) if payload["cache_dir"] else None
+    _WORKER_SHARED = shared
+
+
+def _solve_candidate_worker(task: Tuple[int, int, int, Optional[str], bool]):
+    """Solve one interned ``(steps, rounds, chunks, backend, store)`` task."""
+    from ..core.synthesizer import synthesize
+
+    shared = _WORKER_SHARED
+    if shared is None:  # pragma: no cover - initializer contract
+        raise DispatchError("worker used before _init_candidate_worker ran")
+    steps, rounds, chunks, backend, store_cache = task
+    cache = (
+        AlgorithmCache(shared["cache_dir"])
+        if shared["cache_dir"] and store_cache
+        else None
+    )
     instance = make_instance(
-        payload["collective"], payload["topology"], payload["chunks"],
-        payload["steps"], payload["rounds"], root=payload["root"],
+        shared["collective"], shared["topology"], chunks, steps, rounds,
+        root=shared["root"],
     )
     return synthesize(
         instance,
-        encoding=payload["encoding"],
-        prune=payload["prune"],
-        time_limit=payload["time_limit"],
-        conflict_limit=payload["conflict_limit"],
-        backend=payload["backend"],
+        encoding=shared["encoding"],
+        prune=shared["prune"],
+        time_limit=shared["time_limit"],
+        conflict_limit=shared["conflict_limit"],
+        backend=backend,
         cache=cache,
     )
+
+
+def _shared_payload(
+    request: SweepRequest,
+    cache: Optional[AlgorithmCache],
+    backend_objs: Sequence[object],
+) -> dict:
+    return {
+        "collective": request.collective,
+        "topology": request.topology,
+        "root": request.root,
+        "encoding": request.encoding,
+        "prune": request.prune,
+        "time_limit": request.time_limit,
+        "conflict_limit": request.conflict_limit,
+        "cache_dir": str(cache.root) if cache is not None else None,
+        "backend_objs": list(backend_objs),
+    }
 
 
 class ParallelDispatcher:
@@ -269,27 +338,25 @@ class ParallelDispatcher:
                     break
 
         if pending:
-            def payload(index: int) -> dict:
-                return {
-                    "collective": request.collective,
-                    "topology": request.topology,
-                    "chunks": candidates[index][1],
-                    "steps": request.steps,
-                    "rounds": candidates[index][0],
-                    "root": request.root,
-                    "encoding": request.encoding,
-                    "prune": request.prune,
-                    "backend": request.backend,
-                    "backend_obj": backend_obj,
-                    "time_limit": request.time_limit,
-                    "conflict_limit": request.conflict_limit,
-                    "cache_dir": str(cache.root) if cache is not None else None,
-                }
-
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            shared = _shared_payload(request, cache, [backend_obj])
+            workers = min(self.max_workers or os.cpu_count() or 1, len(pending))
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_candidate_worker,
+                initargs=(shared,),
+            ) as pool:
                 try:
                     futures = {
-                        index: pool.submit(_solve_candidate_worker, payload(index))
+                        index: pool.submit(
+                            _solve_candidate_worker,
+                            (
+                                request.steps,
+                                candidates[index][0],
+                                candidates[index][1],
+                                request.backend,
+                                True,
+                            ),
+                        )
                         for index in pending
                     }
                     # Consume in candidate order; once the decisive ordered
@@ -315,17 +382,328 @@ class ParallelDispatcher:
         return outcome
 
 
+# ----------------------------------------------------------------------
+# Speculative cross-S pipeline
+# ----------------------------------------------------------------------
+@dataclass
+class _SweepState:
+    """In-flight bookkeeping for one request of a speculative batch."""
+
+    request: SweepRequest
+    candidates: List[Tuple[int, int]]
+    results: List  # Optional[SynthesisResult] per candidate index
+    inflight: Set[int] = field(default_factory=set)  # indices awaiting a verdict
+    sat_bound: Optional[int] = None  # smallest index known SAT
+    verdicts: Dict[int, List] = field(default_factory=dict)  # portfolio returns
+
+    def note_sat(self, index: int) -> None:
+        if self.sat_bound is None or index < self.sat_bound:
+            self.sat_bound = index
+
+
+class SpeculativeDispatcher:
+    """Cross-``S`` speculative fan-out with deterministic cost-order commits.
+
+    :meth:`sweep_many` receives the whole sweep sequence (one request per
+    step count, in enumeration order) plus an optional ``stop`` predicate
+    (Algorithm 1's bandwidth-optimality test).  Candidates are fanned over
+    one process pool: the current step count's probes are submitted first
+    and the next ``lookahead`` step counts are kept in flight behind them,
+    so the pool never drains while a slow UNSAT proof blocks the frontier
+    decision.  Completion order is arbitrary, but results are *committed*
+    strictly in (step count, cost) order and each sweep is truncated by the
+    serial first-SAT rule, so the observable outcome — and therefore the
+    Pareto frontier — is byte-identical to running the serial dispatcher
+    over the same sequence.  Losers are cancelled as soon as a cheaper SAT
+    or a satisfied ``stop`` predicate makes them irrelevant; a cancelled
+    sweep simply never produces an outcome (its slot stays ``None``).
+
+    ``portfolio`` names several registered solver backends to race on every
+    candidate: the first SAT/UNSAT verdict wins and the sibling runs are
+    cancelled; UNKNOWN only wins when every backend returns it.  Racing
+    keeps the *frontier signatures* deterministic (satisfiability does not
+    depend on the winner) but the decoded schedules may vary run to run
+    with which backend answers first, so the byte-identity contract holds
+    only for the default single-backend configuration.  With a portfolio
+    the dispatcher writes only committed winners back to the cache, so a
+    warm replay serves exactly the schedules this run reported.
+    """
+
+    name = "speculative"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        *,
+        lookahead: int = 1,
+        portfolio: Optional[Sequence[str]] = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise DispatchError("max_workers must be at least 1")
+        if lookahead < 0:
+            raise DispatchError("lookahead must be non-negative")
+        self.max_workers = max_workers
+        self.lookahead = lookahead
+        self.portfolio: Optional[Tuple[str, ...]] = (
+            tuple(portfolio) if portfolio else None
+        )
+        if self.portfolio is not None and len(set(self.portfolio)) != len(self.portfolio):
+            raise DispatchError("portfolio backends must be distinct")
+
+    # ------------------------------------------------------------------
+    def sweep(self, request: SweepRequest, cache: Optional[AlgorithmCache] = None) -> SweepOutcome:
+        if self.portfolio is None and (
+            len(request.candidates) <= 1 or self.max_workers == 1
+        ):
+            # Nothing to speculate over; skip the pool like the parallel path.
+            get_backend(request.backend)
+            return SerialDispatcher().sweep(request, cache)
+        outcome = self.sweep_many([request], cache=cache)[0]
+        assert outcome is not None  # a single request is never skipped
+        return outcome
+
+    # ------------------------------------------------------------------
+    def sweep_many(
+        self,
+        requests: Sequence[SweepRequest],
+        cache: Optional[AlgorithmCache] = None,
+        stop: Optional[Callable[[SweepOutcome], bool]] = None,
+    ) -> List[Optional[SweepOutcome]]:
+        """Execute the sweep sequence, speculating past undecided step counts.
+
+        Returns one entry per request, in order: a :class:`SweepOutcome`
+        for every sweep that was committed, then ``None`` for sweeps that
+        were cancelled because ``stop`` accepted an earlier outcome.  The
+        committed prefix is exactly the sequence of outcomes a serial loop
+        calling ``sweep`` per request (and breaking when ``stop`` fires)
+        would have produced.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        self._check_uniform(requests)
+        backends = (
+            list(self.portfolio)
+            if self.portfolio is not None
+            else [requests[0].backend]
+        )
+        # Fail fast on unknown backend names before spawning any workers.
+        backend_objs = [get_backend(name) for name in backends]
+
+        states = [self._prepare_state(request, cache) for request in requests]
+        outcomes: List[Optional[SweepOutcome]] = [None] * len(requests)
+
+        total_tasks = sum(len(state.inflight) for state in states)
+        if total_tasks == 0:
+            # Every candidate came from the cache; commit without a pool.
+            for index, state in enumerate(states):
+                outcomes[index] = self._try_commit(state)
+                if stop is not None and stop(outcomes[index]):
+                    break
+            return outcomes
+
+        shared = _shared_payload(requests[0], cache, backend_objs)
+        workers = min(
+            self.max_workers or os.cpu_count() or 1,
+            max(1, total_tasks * len(backends)),
+        )
+        futures: Dict[object, Tuple[int, int, str]] = {}
+        candidate_futures: Dict[Tuple[int, int], List[object]] = {}
+        decided = 0
+        submitted = 0
+
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_candidate_worker,
+            initargs=(shared,),
+        )
+        try:
+            def submit_request(index: int) -> None:
+                state = states[index]
+                store = self.portfolio is None
+                for cand in sorted(state.inflight):
+                    rounds, chunks = state.candidates[cand]
+                    group = candidate_futures.setdefault((index, cand), [])
+                    for backend in backends:
+                        future = pool.submit(
+                            _solve_candidate_worker,
+                            (state.request.steps, rounds, chunks, backend, store),
+                        )
+                        futures[future] = (index, cand, backend)
+                        group.append(future)
+
+            def cancel_candidate(index: int, cand: int) -> None:
+                state = states[index]
+                for future in candidate_futures.get((index, cand), ()):
+                    future.cancel()
+                if state.results[cand] is None:
+                    state.inflight.discard(cand)
+
+            # Keep the current sweep plus `lookahead` speculative ones in
+            # flight; FIFO pool order makes earlier step counts run first.
+            while submitted < len(requests) and submitted <= decided + self.lookahead:
+                submit_request(submitted)
+                submitted += 1
+
+            while decided < len(requests):
+                outcome = self._try_commit(states[decided])
+                if outcome is not None:
+                    if cache is not None and self.portfolio is not None:
+                        # Only committed winners are persisted under a
+                        # portfolio, so warm replays match this run.
+                        for result in outcome.results:
+                            if not result.cache_hit:
+                                store_result(
+                                    cache, result,
+                                    encoding=requests[0].encoding,
+                                    prune=requests[0].prune,
+                                )
+                    outcomes[decided] = outcome
+                    decided += 1
+                    if stop is not None and stop(outcome):
+                        break  # later step counts are speculative losers
+                    while (
+                        submitted < len(requests)
+                        and submitted <= decided + self.lookahead
+                    ):
+                        submit_request(submitted)
+                        submitted += 1
+                    continue
+                if not futures:  # pragma: no cover - commit/wait invariant
+                    raise DispatchError("speculative sweep stalled with no futures")
+                done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, cand, backend = futures.pop(future)
+                    state = states[index]
+                    if future.cancelled():
+                        if state.results[cand] is None:
+                            state.inflight.discard(cand)
+                        continue
+                    result = future.result()  # worker errors propagate
+                    self._record(state, cand, backend, result, backends)
+                    if state.results[cand] is None:
+                        continue  # portfolio race still undecided
+                    # The race is decided: stop the losing sibling backends
+                    # (queued ones are cancelled; running ones finish and
+                    # are dropped by _record).
+                    for sibling in candidate_futures.get((index, cand), ()):
+                        if sibling is not future:
+                            sibling.cancel()
+                    if state.results[cand].is_sat and state.request.stop_at_first_sat:
+                        state.note_sat(cand)
+                        for later in list(state.inflight):
+                            if later > cand:
+                                cancel_candidate(index, later)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_uniform(requests: Sequence[SweepRequest]) -> None:
+        def context(request: SweepRequest) -> tuple:
+            return (
+                request.collective, id(request.topology), request.root,
+                request.encoding, request.prune, request.backend,
+                request.time_limit, request.conflict_limit,
+                request.stop_at_first_sat,
+            )
+
+        first = context(requests[0])
+        for request in requests[1:]:
+            if context(request) != first:
+                raise DispatchError(
+                    "sweep_many requests must differ only in steps/candidates"
+                )
+
+    def _prepare_state(
+        self, request: SweepRequest, cache: Optional[AlgorithmCache]
+    ) -> _SweepState:
+        candidates = list(request.candidates)
+        state = _SweepState(
+            request=request, candidates=candidates, results=[None] * len(candidates)
+        )
+        pending: List[int] = []
+        for index, (rounds, chunks) in enumerate(candidates):
+            cached = _cached_result(request, rounds, chunks, cache)
+            if cached is not None:
+                state.results[index] = cached
+                if cached.is_sat and request.stop_at_first_sat:
+                    state.note_sat(index)
+            else:
+                pending.append(index)
+        if state.sat_bound is not None:
+            pending = [i for i in pending if i < state.sat_bound]
+        state.inflight = set(pending)
+        return state
+
+    def _record(
+        self, state: _SweepState, cand: int, backend: str, result, backends: List[str]
+    ) -> None:
+        """Fold one worker return into the candidate's verdict."""
+        if state.results[cand] is not None:
+            return  # a sibling already decided this candidate
+        if self.portfolio is None:
+            state.results[cand] = result
+            state.inflight.discard(cand)
+            return
+        if not result.is_unknown:
+            # First definite verdict wins the race.
+            state.results[cand] = result
+            state.inflight.discard(cand)
+            return
+        returned = state.verdicts.setdefault(cand, [])
+        returned.append(result)
+        if len(returned) == len(backends):
+            # Every backend gave up within its limits: UNKNOWN it is.
+            state.results[cand] = returned[0]
+            state.inflight.discard(cand)
+
+    @staticmethod
+    def _try_commit(state: _SweepState) -> Optional[SweepOutcome]:
+        """Replay the serial decision rule once the ordered prefix is known."""
+        outcome = SweepOutcome()
+        for index in range(len(state.candidates)):
+            result = state.results[index]
+            if result is None:
+                if index in state.inflight:
+                    return None  # the decision still depends on this probe
+                break  # cancelled loser past the first SAT
+            _account(outcome.stats, result)
+            outcome.results.append(result)
+            if result.is_sat and state.request.stop_at_first_sat:
+                break
+        return outcome
+
+
 STRATEGIES = {
     "serial": SerialDispatcher,
     "incremental": IncrementalDispatcher,
     "parallel": ParallelDispatcher,
+    "speculative": SpeculativeDispatcher,
 }
 
 
-def make_dispatcher(strategy: str = "incremental", *, max_workers: Optional[int] = None):
+def make_dispatcher(
+    strategy: str = "incremental",
+    *,
+    max_workers: Optional[int] = None,
+    portfolio: Optional[Sequence[str]] = None,
+    lookahead: int = 1,
+):
     """Build a dispatcher by strategy name."""
     if strategy == "parallel":
+        if portfolio:
+            raise DispatchError(
+                "portfolio racing requires strategy='speculative'"
+            )
         return ParallelDispatcher(max_workers=max_workers)
+    if strategy == "speculative":
+        return SpeculativeDispatcher(
+            max_workers=max_workers, lookahead=lookahead, portfolio=portfolio
+        )
+    if portfolio:
+        raise DispatchError("portfolio racing requires strategy='speculative'")
     cls = STRATEGIES.get(strategy)
     if cls is None:
         raise DispatchError(

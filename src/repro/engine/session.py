@@ -1,4 +1,4 @@
-"""Incremental synthesis sessions: encode once, probe many rounds budgets.
+"""Incremental synthesis sessions: encode once, probe many candidates.
 
 A :class:`IncrementalSession` fixes everything about a SynColl candidate
 except the total round count ``R``: the collective, topology, per-node
@@ -11,18 +11,31 @@ probes instead of re-encoding and re-solving from a cold start, exactly the
 assumption interface :meth:`repro.solver.sat.SATSolver.solve` already
 exposed but nothing above it used.
 
-Satisfiability is identical to a cold encode at the probed ``R``: widening
-the per-step round domains is inert once the total is pinned (every other
-step performs at least one round, so no step can exceed ``R - (S - 1)``),
-and the selector assumptions force the total exactly.
+A :class:`SessionFamily` generalizes this across the whole ``(S, C)``
+lattice: per step count ``S`` it owns one *shared-prefix* encoding
+(``chunk_selector=True``) built at that sweep's chunk and rounds budgets,
+so every ``(C, R)`` candidate of a fixed-``S`` sweep is a per-candidate
+assumption frame over one encoding and one persistent solver — one encode
+per ``S`` instead of one per distinct ``C``.  The ``S``-independent
+reachability analysis is computed once per family and shared by every
+per-``S`` encoding, and a candidate beyond the current chunk budget grows
+the encoding in place (:meth:`ScclEncoding.extend_chunks`) instead of
+re-encoding the shared time/send substructure.
+
+Satisfiability is identical to a cold encode at the probed candidate:
+widening the per-step round domains is inert once the total is pinned
+(every other step performs at least one round, so no step can exceed
+``R - (S - 1)``), the selector assumptions force the total exactly, and
+disabled chunk levels can neither send nor owe postconditions.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..core.encoding import ScclEncoding
+from ..core.encoding import PrefixAnalysis, ScclEncoding
 from ..core.instance import SynCollInstance, make_instance
 from ..solver import SolveResult
 from ..topology import Topology
@@ -151,12 +164,14 @@ class IncrementalSession:
         if status is SolveResult.SAT:
             algorithm = self._encoder.decode(self._handle.model(), name=name)
             if verify:
+                start = time.monotonic()
                 try:
                     algorithm.verify()
                 except Exception as exc:  # pragma: no cover - encoder bug guard
                     raise SynthesisError(
                         f"decoded algorithm fails verification: {exc}"
                     ) from exc
+                result.verify_time = time.monotonic() - start
             if algorithm.total_rounds != rounds:  # pragma: no cover - selector guard
                 raise SynthesisError(
                     f"rounds selector leak: asked for {rounds} rounds, decoded "
@@ -190,4 +205,228 @@ class IncrementalSession:
             f"C={self.chunks_per_node}, S={self.steps}, R<={self.max_rounds}, "
             f"backend={self.backend_name}, encodes={self.encode_calls}, "
             f"solves={self.solver_calls})"
+        )
+
+
+@dataclass
+class _FamilyEntry:
+    """One step count's shared-prefix encoding plus its solver handle."""
+
+    encoder: ScclEncoding
+    handle: SolverHandle
+    trivially_unsat: bool = False
+    pending_encode_time: float = 0.0  # attributed to the next probe
+    prev_stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def chunks_budget(self) -> int:
+        return self.encoder.instance.chunks_per_node
+
+    @property
+    def rounds_budget(self) -> int:
+        return self.encoder.rounds_budget or self.encoder.instance.rounds
+
+
+class SessionFamily:
+    """Shared-prefix encodings across the whole ``(S, C, R)`` lattice.
+
+    The family owns one chunk-selector encoding (and one persistent solver
+    handle) per step count ``S``; :meth:`solve` answers any ``(S, C, R)``
+    candidate with a per-candidate assumption frame, so a fixed-``S``
+    candidate sweep pays exactly one encoding, and the reachability
+    analysis behind variable pruning is computed once for the whole
+    family.  Chunk counts beyond an encoding's budget extend it in place;
+    rounds beyond the budget rebuild that step count's encoding (the round
+    variables' domains cannot be widened after the fact), which callers
+    avoid by passing the sweep's known budgets up front via ``max_chunks``
+    / ``max_rounds``.
+    """
+
+    def __init__(
+        self,
+        collective: str,
+        topology: Topology,
+        *,
+        root: int = 0,
+        prune: bool = True,
+        backend: Optional[str] = None,
+    ) -> None:
+        self.collective = collective
+        self.topology = topology
+        self.root = root
+        self.prune = prune
+        self.backend_name = (backend or get_backend().name)
+        self._backend: SolverBackend = get_backend(backend)
+        self._analysis = PrefixAnalysis(topology)
+        self._entries: Dict[int, _FamilyEntry] = {}
+        self.encode_calls = 0      # full encodes + in-place extensions
+        self.extensions = 0        # chunk-budget growths (subset of the above)
+        self.rebuilds = 0          # rounds-budget overflows (full re-encodes)
+        self.solver_calls = 0
+        self.encode_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Entry management
+    # ------------------------------------------------------------------
+    def _budget_instance(self, steps: int, chunks: int, rounds: int) -> SynCollInstance:
+        return make_instance(
+            self.collective, self.topology, chunks, steps, rounds, root=self.root
+        )
+
+    def _build_entry(self, steps: int, chunks: int, rounds: int) -> _FamilyEntry:
+        start = time.monotonic()
+        encoder = ScclEncoding(
+            self._budget_instance(steps, chunks, rounds),
+            prune=self.prune,
+            rounds_budget=rounds,
+            chunk_selector=True,
+            analysis=self._analysis,
+        )
+        ctx = encoder.encode()
+        elapsed = time.monotonic() - start
+        self.encode_time += elapsed
+        self.encode_calls += 1
+        handle = self._backend.create()
+        loaded = handle.load(ctx.cnf)
+        entry = _FamilyEntry(
+            encoder=encoder,
+            handle=handle,
+            trivially_unsat=not loaded,
+            pending_encode_time=elapsed,
+        )
+        self._entries[steps] = entry
+        return entry
+
+    def _entry_for(
+        self, steps: int, chunks: int, rounds: int,
+        max_chunks: Optional[int], max_rounds: Optional[int],
+    ) -> _FamilyEntry:
+        want_chunks = max(chunks, max_chunks or 0)
+        want_rounds = max(rounds, max_rounds or 0)
+        entry = self._entries.get(steps)
+        if entry is None:
+            return self._build_entry(steps, want_chunks, want_rounds)
+        if want_rounds > entry.rounds_budget:
+            # Round domains are fixed at creation; rebuild this step count
+            # at the larger budget (the analysis prefix is still shared).
+            self.rebuilds += 1
+            return self._build_entry(
+                steps, max(want_chunks, entry.chunks_budget), want_rounds
+            )
+        if want_chunks > entry.chunks_budget:
+            start = time.monotonic()
+            ctx = entry.encoder.extend_chunks(
+                self._budget_instance(steps, want_chunks, entry.rounds_budget)
+            )
+            elapsed = time.monotonic() - start
+            self.encode_time += elapsed
+            self.encode_calls += 1
+            self.extensions += 1
+            # The formula grew: reload a fresh handle (learned clauses from
+            # the smaller prefix are dropped, the encoding work is kept).
+            handle = self._backend.create()
+            entry.handle = handle
+            entry.trivially_unsat = not handle.load(ctx.cnf)
+            entry.prev_stats = {}
+            entry.pending_encode_time += elapsed
+        return entry
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        steps: int,
+        chunks: int,
+        rounds: int,
+        *,
+        max_chunks: Optional[int] = None,
+        max_rounds: Optional[int] = None,
+        time_limit: Optional[float] = None,
+        conflict_limit: Optional[int] = None,
+        verify: bool = True,
+        name: Optional[str] = None,
+    ):
+        """Probe one ``(S, C, R)`` candidate; returns a SynthesisResult."""
+        from ..core.synthesizer import SynthesisError, SynthesisResult
+
+        if rounds < steps:
+            raise SessionError(
+                f"rounds {rounds} below the step count {steps}"
+            )
+        if chunks < 1:
+            raise SessionError(f"chunk count must be positive, got {chunks}")
+        instance = self._budget_instance(steps, chunks, rounds)
+        entry = self._entry_for(steps, chunks, rounds, max_chunks, max_rounds)
+        encode_time, entry.pending_encode_time = entry.pending_encode_time, 0.0
+
+        if entry.trivially_unsat:
+            status = SolveResult.UNSAT
+            solve_time = 0.0
+            solver_stats: Dict[str, float] = {}
+        else:
+            assumptions = entry.encoder.frame_assumptions(chunks, rounds)
+            start = time.monotonic()
+            status = entry.handle.solve(
+                assumptions, conflict_limit=conflict_limit, time_limit=time_limit
+            )
+            solve_time = time.monotonic() - start
+            raw = entry.handle.stats()
+            watermarks = {"max_decision_level"}
+            solver_stats = {
+                key: value if key in watermarks else value - entry.prev_stats.get(key, 0)
+                for key, value in raw.items()
+            }
+            entry.prev_stats = dict(raw)
+        self.solver_calls += 1
+
+        result = SynthesisResult(
+            instance=instance,
+            status=status,
+            encode_time=encode_time,
+            solve_time=solve_time,
+            encoding_stats=entry.encoder.stats.as_dict(),
+            solver_stats=solver_stats,
+            encoding="sccl",
+            backend=self.backend_name,
+        )
+        if status is SolveResult.SAT:
+            algorithm = entry.encoder.decode(
+                entry.handle.model(), name=name, instance=instance
+            )
+            if verify:
+                start = time.monotonic()
+                try:
+                    algorithm.verify()
+                except Exception as exc:  # pragma: no cover - encoder bug guard
+                    raise SynthesisError(
+                        f"decoded algorithm fails verification: {exc}"
+                    ) from exc
+                result.verify_time = time.monotonic() - start
+            if algorithm.total_rounds != rounds:  # pragma: no cover - selector guard
+                raise SynthesisError(
+                    f"rounds selector leak: asked for {rounds} rounds, decoded "
+                    f"{algorithm.total_rounds}"
+                )
+            if algorithm.num_chunks != instance.num_chunks:  # pragma: no cover
+                raise SynthesisError(
+                    f"chunk selector leak: asked for {instance.num_chunks} chunks, "
+                    f"decoded {algorithm.num_chunks}"
+                )
+            result.algorithm = algorithm
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        budgets = ", ".join(
+            f"S={steps}:C<={entry.chunks_budget},R<={entry.rounds_budget}"
+            for steps, entry in sorted(self._entries.items())
+        )
+        return (
+            f"SessionFamily({self.collective} on {self.topology.name}: "
+            f"[{budgets}] backend={self.backend_name}, "
+            f"encodes={self.encode_calls} (+{self.extensions} ext, "
+            f"{self.rebuilds} rebuilds), solves={self.solver_calls})"
         )

@@ -78,8 +78,9 @@ class SynthesisTableConfig:
     collectives: Optional[Sequence[str]] = None  # subset filter
     max_k: Optional[int] = None
     strategy: str = "incremental"        # candidate-sweep strategy (engine dispatch)
-    max_workers: Optional[int] = None    # worker processes for strategy="parallel"
+    max_workers: Optional[int] = None    # worker processes (parallel/speculative)
     backend: Optional[str] = None        # solver backend name
+    portfolio: Optional[Sequence[str]] = None  # backends raced per candidate (speculative)
     cache_dir: Optional[str] = None      # algorithm-cache directory (None disables)
     export_dir: Optional[str] = None     # write each point's algorithm here (None disables)
     export_format: str = "xml"           # "xml", "plan" or "both"
@@ -187,6 +188,7 @@ def synthesis_table(
             strategy=config.strategy,
             max_workers=config.max_workers,
             backend=config.backend,
+            portfolio=config.portfolio,
             cache=cache,
         )
         if config.export_dir is not None:

@@ -8,11 +8,13 @@ them through :class:`SynthesisResolver`, whose fallback ladder is fixed:
    persisted routing table; a hit is answered without any solver work.
 2. **synthesis** — pinned requests run one engine solve
    (:func:`repro.core.synthesizer.synthesize`); routed requests run a
-   Pareto sweep through the engine's *incremental* dispatcher (one
-   encoding per distinct chunk count), then score the frontier with the
-   alpha-beta simulator into a fresh routing table.  The most patient
-   waiter's remaining deadline is forwarded to the engine as the solve
-   time limit.
+   Pareto sweep through the engine's *speculative* dispatcher (cold
+   frontier builds fan candidates across a process pool and start the
+   next step count while the current one is in flight; see
+   ``sweep_strategy`` to pick a different dispatcher), then score the
+   frontier with the alpha-beta simulator into a fresh routing table.
+   The most patient waiter's remaining deadline is forwarded to the
+   engine as the solve time limit.
 3. **baseline** — when the solver comes back UNKNOWN (deadline / resource
    limits) the resolver degrades gracefully to a hand-written baseline
    (ring Allgather/Allreduce/Reducescatter, BFS-tree Broadcast/Reduce),
@@ -116,9 +118,19 @@ class SynthesisResolver:
         registry: PlanRegistry,
         *,
         max_steps_margin: int = 4,
+        sweep_strategy: str = "speculative",
+        sweep_workers: Optional[int] = None,
     ) -> None:
+        # sweep_strategy="speculative" forks a process pool from a worker
+        # thread for cold routed builds.  That is safe here because pool
+        # children never touch the parent's broker/registry locks (they
+        # re-import repro and solve standalone instances), but deployments
+        # that embed the resolver next to fork-hostile libraries can inject
+        # sweep_strategy="incremental" to stay in-process.
         self.registry = registry
         self.max_steps_margin = max_steps_margin
+        self.sweep_strategy = sweep_strategy
+        self.sweep_workers = sweep_workers
         self.solves = 0           # backend solves performed (not replayed)
         self.registry_hits = 0    # answers served with zero solver work
         self._lock = threading.Lock()
@@ -298,7 +310,8 @@ class SynthesisResolver:
             k=request.synchrony,
             root=request.root,
             time_limit_per_instance=_clamp_limit(remaining_s),
-            strategy="incremental",
+            strategy=self.sweep_strategy,
+            max_workers=self.sweep_workers,
             backend=request.backend,
             cache=self.registry.cache,
         )

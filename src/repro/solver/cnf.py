@@ -100,6 +100,21 @@ class CNF:
             self.ensure_var(lit_var(lit))
         self.clauses.append(clause)
 
+    def add_clause_fast(self, lits: List[int]) -> None:
+        """Append a pre-normalized clause, skipping the per-literal scans.
+
+        The caller guarantees that every literal's variable is already
+        allocated in this formula and that the clause is worth keeping as
+        given — no tautology check, no duplicate removal, no ``ensure_var``.
+        This is the hot path for machine-generated clauses (the synthesis
+        encoder and the cardinality encoders), whose clauses are built from
+        freshly allocated variables and are normalized by construction;
+        :meth:`add_clause` remains the safe door for everything else
+        (DIMACS parsing, hand-written constraints).  The list is stored
+        directly, so callers must not mutate it afterwards.
+        """
+        self.clauses.append(lits)
+
     def extend(self, clauses: Iterable[Iterable[int]]) -> None:
         """Add several clauses."""
         for clause in clauses:

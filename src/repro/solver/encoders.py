@@ -29,15 +29,30 @@ class EncodingError(Exception):
     """Raised when an encoder receives inconsistent arguments."""
 
 
+def _fast_add(cnf):
+    """The pre-normalized clause fast path when the database offers one.
+
+    Every clause the encoders below emit mixes caller literals (already
+    allocated in ``cnf``) with freshly created auxiliary variables, so the
+    tautology/duplicate scan and ``ensure_var`` bookkeeping of
+    ``add_clause`` are pure overhead here — and they dominate encode time
+    on large instances.  Dropping the scan never changes semantics: a
+    duplicated or tautological input literal only makes the emitted clause
+    redundant, not wrong.
+    """
+    return getattr(cnf, "add_clause_fast", None) or cnf.add_clause
+
+
 # ----------------------------------------------------------------------
 # At-most-one / exactly-one
 # ----------------------------------------------------------------------
 def at_most_one_pairwise(cnf, lits: Sequence[int]) -> None:
     """Pairwise (binomial) AMO: O(n^2) binary clauses, no auxiliary variables."""
+    add = _fast_add(cnf)
     n = len(lits)
     for i in range(n):
         for j in range(i + 1, n):
-            cnf.add_clause([-lits[i], -lits[j]])
+            add([-lits[i], -lits[j]])
 
 
 def at_most_one_commander(cnf, lits: Sequence[int], group_size: int = 4) -> None:
@@ -51,6 +66,7 @@ def at_most_one_commander(cnf, lits: Sequence[int], group_size: int = 4) -> None
     if len(lits) <= group_size + 1:
         at_most_one_pairwise(cnf, lits)
         return
+    add = _fast_add(cnf)
     commanders: List[int] = []
     for start in range(0, len(lits), group_size):
         group = lits[start : start + group_size]
@@ -58,7 +74,7 @@ def at_most_one_commander(cnf, lits: Sequence[int], group_size: int = 4) -> None
         commanders.append(commander)
         # commander is true if any literal in the group is true
         for lit in group:
-            cnf.add_clause([-lit, commander])
+            add([-lit, commander])
         # at most one within the group
         at_most_one_pairwise(cnf, group)
     at_most_one_commander(cnf, commanders, group_size)
@@ -110,18 +126,19 @@ def at_most_k_sequential(cnf, lits: Sequence[int], k: int) -> None:
         return
     if n <= k:
         return
+    add = _fast_add(cnf)
     # s[i][j]: among lits[0..i] at least j+1 are true (j in 0..k-1)
     s = [[cnf.new_var() for _ in range(k)] for _ in range(n)]
-    cnf.add_clause([-lits[0], s[0][0]])
+    add([-lits[0], s[0][0]])
     for j in range(1, k):
-        cnf.add_clause([-s[0][j]])
+        add([-s[0][j]])
     for i in range(1, n):
-        cnf.add_clause([-lits[i], s[i][0]])
-        cnf.add_clause([-s[i - 1][0], s[i][0]])
+        add([-lits[i], s[i][0]])
+        add([-s[i - 1][0], s[i][0]])
         for j in range(1, k):
-            cnf.add_clause([-lits[i], -s[i - 1][j - 1], s[i][j]])
-            cnf.add_clause([-s[i - 1][j], s[i][j]])
-        cnf.add_clause([-lits[i], -s[i - 1][k - 1]])
+            add([-lits[i], -s[i - 1][j - 1], s[i][j]])
+            add([-s[i - 1][j], s[i][j]])
+        add([-lits[i], -s[i - 1][k - 1]])
 
 
 def at_most_k(cnf, lits: Sequence[int], k: int, method: str = "auto") -> None:
@@ -182,6 +199,7 @@ def totalizer(cnf, lits: Sequence[int], bound: Optional[int] = None) -> List[int
     if bound is None:
         bound = len(lits)
     bound = max(0, min(bound, len(lits)))
+    add = _fast_add(cnf)
 
     def build(sub: List[int]) -> List[int]:
         if len(sub) <= 1:
@@ -202,7 +220,7 @@ def totalizer(cnf, lits: Sequence[int], bound: Optional[int] = None) -> List[int
                     clause.append(-left[a - 1])
                 if b > 0:
                     clause.append(-right[b - 1])
-                cnf.add_clause(clause)
+                add(clause)
         return outputs
 
     if bound == 0 or not lits:

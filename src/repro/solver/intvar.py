@@ -47,15 +47,18 @@ class IntVar:
         self.hi = hi
         self.name = name or f"int[{lo}..{hi}]"
         self._true = true_lit
+        from .encoders import _fast_add
+
         # _ge[v] is the Boolean variable for x >= v, for v in lo+1..hi
         self._ge: Dict[int, int] = {}
+        add = _fast_add(cnf)
         prev = None
         for v in range(lo + 1, hi + 1):
             var = cnf.new_var()
             self._ge[v] = var
             if prev is not None:
-                # x >= v implies x >= v-1
-                cnf.add_clause([-var, prev])
+                # x >= v implies x >= v-1 (fresh variables: pre-normalized)
+                add([-var, prev])
             prev = var
 
     # ------------------------------------------------------------------

@@ -98,6 +98,10 @@ class SmtLite:
     def add_clause(self, lits: Iterable[int]) -> None:
         self.cnf.add_clause(lits)
 
+    def add_clause_fast(self, lits: List[int]) -> None:
+        """Pre-normalized clause fast path (see :meth:`CNF.add_clause_fast`)."""
+        self.cnf.add_clause_fast(lits)
+
     def add_unit(self, lit: int) -> None:
         self.cnf.add_clause([lit])
 

@@ -1,0 +1,167 @@
+"""SessionFamily: shared-prefix encodings across the (S, C, R) lattice.
+
+The family contract is satisfiability-equivalence with cold solves at
+every lattice point, one encoding per step count (however many chunk
+counts a sweep probes), in-place chunk-budget extension, and a rebuild —
+not an error — when a rounds budget is exceeded.
+"""
+
+import pytest
+
+from repro.core import make_instance, synthesize
+from repro.core.encoding import EncodingError, PrefixAnalysis, ScclEncoding
+from repro.engine import IncrementalDispatcher, SessionFamily, SweepRequest
+from repro.engine.session import SessionError
+from repro.topology import line, ring, star
+
+
+class TestLatticeEquivalence:
+    @pytest.mark.parametrize(
+        "collective,topology",
+        [
+            ("Allgather", ring(4)),
+            ("Gather", line(3)),
+            ("Broadcast", star(4)),
+        ],
+        ids=["allgather-ring4", "gather-line3", "broadcast-star4"],
+    )
+    def test_family_matches_cold_solves(self, collective, topology):
+        family = SessionFamily(collective, topology)
+        for steps in (2, 3):
+            for chunks in (1, 2):
+                for rounds in (steps, steps + 1):
+                    probe = family.solve(
+                        steps, chunks, rounds, max_chunks=2, max_rounds=steps + 1
+                    )
+                    cold = synthesize(
+                        make_instance(collective, topology, chunks, steps, rounds)
+                    )
+                    assert probe.status == cold.status, (steps, chunks, rounds)
+                    if probe.is_sat:
+                        probe.algorithm.verify()
+                        assert probe.algorithm.total_rounds == rounds
+                        assert probe.algorithm.num_chunks == cold.instance.num_chunks
+        # One encoding per step count served the whole 2x2x2 lattice slice.
+        assert family.encode_calls == 2
+        assert family.solver_calls == 8
+
+    def test_rooted_non_default_root(self):
+        family = SessionFamily("Broadcast", star(4), root=2)
+        probe = family.solve(2, 2, 2, max_chunks=2)
+        cold = synthesize(make_instance("Broadcast", star(4), 2, 2, 2, root=2))
+        assert probe.status == cold.status
+
+
+class TestBudgets:
+    def test_chunk_budget_extends_in_place(self):
+        family = SessionFamily("Allgather", ring(4))
+        family.solve(3, 1, 3, max_chunks=1, max_rounds=4)
+        assert family.extensions == 0
+        # Exceeding the chunk budget (within the rounds budget) extends the
+        # encoding in place rather than re-encoding it.
+        probe = family.solve(3, 3, 4)
+        cold = synthesize(make_instance("Allgather", ring(4), 3, 3, 4))
+        assert probe.status == cold.status
+        assert family.extensions == 1
+        assert family.rebuilds == 0
+
+    def test_rounds_budget_overflow_rebuilds(self):
+        family = SessionFamily("Allgather", ring(4))
+        family.solve(2, 1, 2, max_rounds=2)
+        assert family.rebuilds == 0
+        probe = family.solve(2, 1, 4)
+        assert family.rebuilds == 1
+        cold = synthesize(make_instance("Allgather", ring(4), 1, 2, 4))
+        assert probe.status == cold.status
+
+    def test_invalid_probes_rejected(self):
+        family = SessionFamily("Allgather", ring(4))
+        with pytest.raises(SessionError):
+            family.solve(3, 1, 2)  # rounds below steps
+        with pytest.raises(SessionError):
+            family.solve(2, 0, 2)  # no chunks
+
+    def test_describe_mentions_budgets(self):
+        family = SessionFamily("Allgather", ring(4))
+        family.solve(2, 2, 3, max_chunks=2, max_rounds=3)
+        text = family.describe()
+        assert "S=2" in text and "C<=2" in text and "R<=3" in text
+
+
+class TestPrefixEncodingContracts:
+    def test_extend_chunks_requires_selector(self):
+        instance = make_instance("Allgather", ring(4), 1, 2, 2)
+        encoder = ScclEncoding(instance)
+        encoder.encode()
+        with pytest.raises(EncodingError):
+            encoder.extend_chunks(make_instance("Allgather", ring(4), 2, 2, 2))
+
+    def test_extend_chunks_rejects_other_dimensions(self):
+        instance = make_instance("Allgather", ring(4), 1, 2, 2)
+        encoder = ScclEncoding(instance, chunk_selector=True)
+        encoder.encode()
+        with pytest.raises(EncodingError):
+            encoder.extend_chunks(make_instance("Allgather", ring(4), 2, 3, 3))
+
+    def test_chunks_assumptions_bounds_checked(self):
+        instance = make_instance("Allgather", ring(4), 2, 2, 2)
+        encoder = ScclEncoding(instance, chunk_selector=True)
+        with pytest.raises(EncodingError):
+            encoder.chunks_assumptions(1)  # before encode()
+        encoder.encode()
+        with pytest.raises(EncodingError):
+            encoder.chunks_assumptions(3)  # beyond the budget
+        assert len(encoder.chunks_assumptions(1)) == 2
+        assert len(encoder.chunks_assumptions(2)) == 1  # top level: no upper lit
+
+    def test_plain_encoding_rejects_chunk_frames(self):
+        instance = make_instance("Allgather", ring(4), 2, 2, 2)
+        encoder = ScclEncoding(instance)
+        encoder.encode()
+        with pytest.raises(EncodingError):
+            encoder.chunks_assumptions(1)
+
+    def test_analysis_is_shared_and_grown(self):
+        topology = ring(4)
+        analysis = PrefixAnalysis(topology)
+        small = make_instance("Allgather", topology, 1, 2, 2)
+        analysis.ensure(small)
+        covered = len(analysis.chunk_dist)
+        big = make_instance("Allgather", topology, 3, 2, 2)
+        analysis.ensure(big)
+        assert len(analysis.chunk_dist) > covered
+        # Prefix rows are untouched by growth.
+        for key in list(analysis.chunk_dist)[:covered]:
+            assert key in analysis.chunk_dist
+
+
+class TestIncrementalDispatcherFamilies:
+    def test_one_encode_serves_mixed_chunk_sweep(self):
+        request = SweepRequest(
+            collective="Allgather",
+            topology=ring(4),
+            steps=3,
+            candidates=((3, 2), (3, 1), (4, 2), (4, 1)),
+            stop_at_first_sat=False,
+        )
+        outcome = IncrementalDispatcher().sweep(request)
+        assert len(outcome.results) == 4
+        assert outcome.stats.encode_calls == 1
+        assert outcome.stats.solver_calls == 4
+
+    def test_family_persists_across_sweeps(self):
+        dispatcher = IncrementalDispatcher()
+        topology = ring(4)
+        for steps in (2, 3):
+            request = SweepRequest(
+                collective="Allgather",
+                topology=topology,
+                steps=steps,
+                candidates=((steps, 1), (steps + 1, 1)),
+            )
+            dispatcher.sweep(request)
+        # One family handles both step counts (two per-S encodings sharing
+        # one reachability analysis).
+        assert len(dispatcher._families) == 1
+        family = next(iter(dispatcher._families.values()))
+        assert family.encode_calls == 2
