@@ -169,11 +169,17 @@ def test_sweep_strategy_ablation():
     # Every strategy reproduces a frontier on the smoke instance.
     for name, row in rows.items():
         assert row["points"], f"{name} found no frontier points"
-    # Shared-prefix reuse: one encoding per step count, not per candidate.
+    # Shared-prefix reuse: one encoding per step count, not per candidate —
+    # plus one exact standalone re-encode per budget-exhausted family frame
+    # (the deterministic UNKNOWN retry policy), which the family share must
+    # not be charged for.
     serial_stats = rows["serial"]["engine_stats"]
     incremental_stats = rows["incremental"]["engine_stats"]
-    assert incremental_stats["encode_calls"] < serial_stats["encode_calls"]
-    assert incremental_stats["encode_calls"] <= SWEEP_SMOKE["max_steps"]
+    family_encodes = incremental_stats["encode_calls"] - incremental_stats.get(
+        "unknown_retries", 0
+    )
+    assert family_encodes < serial_stats["encode_calls"]
+    assert family_encodes <= SWEEP_SMOKE["max_steps"]
 
     if asserted:
         # The structural margins on this smoke are ~1.5x (vs serial, whose

@@ -26,6 +26,12 @@ Subcommands
     Client for ``repro serve``: ask a running service for a plan (pinned
     ``-C/-S/-R`` candidate or ``--size``-routed), or answer locally with
     ``--local`` when no server is up.
+``repro fault``
+    Register, clear or inspect fabric faults on a running service
+    (``--link-down``, ``--rank-down``, ``--link-degraded``); mutations
+    invalidate affected routing tables and cached plans so the next
+    request replans against the degraded topology.  ``--preview`` derives
+    the degraded topology locally without a server.
 ``repro run``
     Execute an imported plan/XML file on the functional executor and the
     alpha-beta simulator: verified correctness plus estimated times.
@@ -564,6 +570,96 @@ def _cmd_request(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# repro fault
+# ----------------------------------------------------------------------
+def _parse_link(spec: str, flag: str):
+    parts = spec.split(":")
+    if len(parts) != 2:
+        raise CliError(f"bad {flag} spec {spec!r} (expected SRC:DST)")
+    try:
+        return int(parts[0]), int(parts[1])
+    except ValueError as exc:
+        raise CliError(f"bad {flag} spec {spec!r} (expected SRC:DST)") from exc
+
+
+def _collect_faults(args) -> list:
+    from ..faults import FaultError, LinkDegraded, LinkDown, RankDown
+
+    faults = []
+    try:
+        for spec in args.link_down or []:
+            src, dst = _parse_link(spec, "--link-down")
+            faults.append(LinkDown(src, dst).to_json())
+        for spec in args.rank_down or []:
+            try:
+                rank = int(spec)
+            except ValueError as exc:
+                raise CliError(f"bad --rank-down spec {spec!r}") from exc
+            faults.append(RankDown(rank).to_json())
+        for spec in args.link_degraded or []:
+            parts = spec.split(":")
+            if len(parts) < 2 or len(parts) > 4:
+                raise CliError(
+                    f"bad --link-degraded spec {spec!r} "
+                    "(expected SRC:DST[:ALPHA_FACTOR[:BETA_FACTOR]])"
+                )
+            try:
+                src, dst = int(parts[0]), int(parts[1])
+                alpha = float(parts[2]) if len(parts) > 2 else 1.0
+                beta = float(parts[3]) if len(parts) > 3 else 1.0
+            except ValueError as exc:
+                raise CliError(f"bad --link-degraded spec {spec!r}") from exc
+            faults.append(
+                LinkDegraded(src, dst, alpha_factor=alpha, beta_factor=beta).to_json()
+            )
+    except FaultError as exc:
+        raise CliError(str(exc)) from exc
+    return faults
+
+
+def _cmd_fault(args) -> int:
+    from ..service import FaultRequest, ServiceError, request_fault
+
+    faults = _collect_faults(args)
+    try:
+        request = FaultRequest(
+            topology=args.topology, action=args.action, faults=tuple(faults)
+        ).validate()
+    except ServiceError as exc:
+        raise CliError(str(exc)) from exc
+
+    if args.preview:
+        # Offline: derive and describe the degraded topology locally.
+        from ..faults import FaultSet
+
+        topology = request.resolve_topology()
+        fault_set = request.fault_set()
+        fault_set.validate(topology)
+        degraded = fault_set.apply(topology)
+        print(f"faults: {fault_set.describe() or '(none)'}")
+        print(
+            f"degraded topology: {degraded.name} "
+            f"({degraded.num_nodes} nodes, {len(degraded.links())} links; "
+            f"healthy has {len(topology.links())})"
+        )
+        return 0
+
+    try:
+        response = request_fault(args.url, request)
+    except ServiceError as exc:
+        raise CliError(str(exc)) from exc
+    print(response.summary())
+    if response.degraded:
+        deg = response.degraded
+        print(
+            f"degraded topology: {deg.get('name')} "
+            f"({deg.get('num_nodes')} nodes, {deg.get('links')} links, "
+            f"{deg.get('links_removed')} removed)"
+        )
+    return 0 if response.ok else 1
+
+
+# ----------------------------------------------------------------------
 # repro run
 # ----------------------------------------------------------------------
 def _parse_size(text: str) -> int:
@@ -791,6 +887,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the returned plan bundle to FILE")
     _add_cache_options(request)
     request.set_defaults(func=_cmd_request)
+
+    # fault ------------------------------------------------------------
+    fault = subparsers.add_parser(
+        "fault",
+        help="register, clear or inspect fabric faults on a running service",
+    )
+    fault.add_argument("action", choices=("register", "clear", "status"))
+    _add_topology_option(fault)
+    fault.add_argument("--link-down", action="append", default=None,
+                       metavar="SRC:DST", help="declare a link dead (repeatable)")
+    fault.add_argument("--rank-down", action="append", default=None,
+                       metavar="RANK", help="declare a rank dead (repeatable)")
+    fault.add_argument("--link-degraded", action="append", default=None,
+                       metavar="SRC:DST[:AF[:BF]]",
+                       help="inflate a link's alpha/beta by the given factors "
+                       "(repeatable)")
+    fault.add_argument("--url", default=f"http://{DEFAULT_HOST}:{DEFAULT_PORT}",
+                       help="service URL (default %(default)s)")
+    fault.add_argument("--preview", action="store_true",
+                       help="derive and print the degraded topology locally "
+                       "without contacting a server")
+    fault.set_defaults(func=_cmd_fault)
 
     # run --------------------------------------------------------------
     run = subparsers.add_parser(

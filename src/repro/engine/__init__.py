@@ -13,16 +13,20 @@ runtime.
 
 from .backends import (
     BackendError,
+    BackendQuarantine,
     CdclBackend,
     CdclHandle,
     DEFAULT_BACKEND,
     DIMACS_SOLVER_CANDIDATES,
     DimacsSolverBackend,
     PySatBackend,
+    QUARANTINE,
     SolverBackend,
     SolverHandle,
     available_backends,
+    classify_dimacs_exit,
     get_backend,
+    get_quarantine,
     register_backend,
     register_dimacs_backends,
     unregister_backend,
@@ -57,6 +61,7 @@ from .session import IncrementalSession, SessionError, SessionFamily
 __all__ = [
     "AlgorithmCache",
     "BackendError",
+    "BackendQuarantine",
     "CACHE_DIR_ENV",
     "CacheEntry",
     "CacheError",
@@ -70,6 +75,7 @@ __all__ = [
     "IncrementalSession",
     "ParallelDispatcher",
     "PySatBackend",
+    "QUARANTINE",
     "STRATEGIES",
     "SerialDispatcher",
     "SessionError",
@@ -81,10 +87,12 @@ __all__ = [
     "SweepRequest",
     "SweepStats",
     "available_backends",
+    "classify_dimacs_exit",
     "default_cache",
     "default_cache_dir",
     "fingerprint",
     "get_backend",
+    "get_quarantine",
     "instance_fingerprint",
     "load_algorithm",
     "lookup_result",

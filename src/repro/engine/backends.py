@@ -22,6 +22,7 @@ import shutil
 import subprocess
 import tempfile
 import threading
+import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
@@ -30,6 +31,102 @@ from ..solver import CNF, SATSolver, SolveResult
 
 class BackendError(Exception):
     """Raised for unknown or misconfigured solver backends."""
+
+
+# ----------------------------------------------------------------------
+# Backend quarantine
+# ----------------------------------------------------------------------
+class BackendQuarantine:
+    """Track repeated solver failures and bench the offenders.
+
+    A *crash* here means a solve call that failed completely — every retry
+    exhausted without producing a verdict.  After ``threshold`` consecutive
+    crashes a backend is quarantined: the portfolio dispatcher stops
+    submitting work to it, so one flaky binary cannot slow every sweep to
+    its retry ceiling.  A successful verdict resets the counter; an
+    optional ``cooldown_s`` lets a quarantined backend back in after a
+    quiet period (``None`` quarantines until an explicit :meth:`release`).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown_s: Optional[float] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise BackendError("quarantine threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._crashes: Dict[str, int] = {}
+        self._quarantined_at: Dict[str, float] = {}
+        self._total_crashes: Dict[str, int] = {}
+
+    def record_crash(self, name: str) -> bool:
+        """Record one exhausted solve call; True if ``name`` is now benched."""
+        with self._lock:
+            count = self._crashes.get(name, 0) + 1
+            self._crashes[name] = count
+            self._total_crashes[name] = self._total_crashes.get(name, 0) + 1
+            if count >= self.threshold and name not in self._quarantined_at:
+                self._quarantined_at[name] = self._clock()
+            return name in self._quarantined_at
+
+    def record_success(self, name: str) -> None:
+        with self._lock:
+            self._crashes.pop(name, None)
+            self._quarantined_at.pop(name, None)
+
+    def is_quarantined(self, name: str) -> bool:
+        with self._lock:
+            benched_at = self._quarantined_at.get(name)
+            if benched_at is None:
+                return False
+            if self.cooldown_s is not None and (
+                self._clock() - benched_at >= self.cooldown_s
+            ):
+                # Cooldown elapsed: give the backend one more chance (the
+                # crash counter restarts, so a still-broken solver is
+                # re-benched after `threshold` further failures).
+                self._quarantined_at.pop(name, None)
+                self._crashes.pop(name, None)
+                return False
+            return True
+
+    def release(self, name: str) -> None:
+        """Manually un-bench a backend (e.g. after replacing the binary)."""
+        self.record_success(name)
+
+    def quarantined(self) -> List[str]:
+        with self._lock:
+            names = list(self._quarantined_at)
+        return sorted(n for n in names if self.is_quarantined(n))
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "threshold": self.threshold,
+                "consecutive_crashes": dict(self._crashes),
+                "total_crashes": dict(self._total_crashes),
+                "quarantined": sorted(self._quarantined_at),
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._crashes.clear()
+            self._quarantined_at.clear()
+            self._total_crashes.clear()
+
+
+#: Process-wide quarantine shared by every dispatcher and DIMACS handle.
+QUARANTINE = BackendQuarantine()
+
+
+def get_quarantine() -> BackendQuarantine:
+    return QUARANTINE
 
 
 @runtime_checkable
@@ -195,6 +292,24 @@ _DIMACS_LIMIT_FLAGS: Dict[str, Tuple[Optional[str], Optional[str]]] = {
 DIMACS_SOLVER_CANDIDATES = ("kissat", "cadical")
 
 
+def classify_dimacs_exit(returncode: int) -> str:
+    """SAT-competition exit-code classification.
+
+    ``10`` is SAT, ``20`` is UNSAT, ``0`` is a clean "don't know" (a solver
+    that hit its own limit and said so).  Everything else — negative codes
+    (killed by a signal: OOM, segfault) and unexpected positive codes — is
+    a *crash*: the solver did not render a verdict, and retrying the same
+    formula is meaningful.
+    """
+    if returncode == 10:
+        return "sat"
+    if returncode == 20:
+        return "unsat"
+    if returncode == 0:
+        return "unknown"
+    return "crash"
+
+
 class DimacsSolverBackend:
     """Subprocess backend over any DIMACS CNF solver binary.
 
@@ -212,6 +327,15 @@ class DimacsSolverBackend:
     Unlike the in-process backends the subprocess is not incremental: each
     ``solve`` call pays a fresh file write and process start.  The payoff is
     raw solver speed on the hard high-chunk-count instances.
+
+    **Failure handling.**  Exit codes are classified with
+    :func:`classify_dimacs_exit`; a *crash* (signal death, unexpected exit
+    code) is retried on the exact same formula up to ``max_retries`` times
+    with exponential backoff.  A call whose every attempt crashed counts
+    against the process-wide :class:`BackendQuarantine` and conservatively
+    reports ``UNKNOWN`` — a dying solver can slow a sweep down, never sink
+    it or flip a verdict.  Any successful verdict resets the backend's
+    quarantine counter.
     """
 
     def __init__(
@@ -220,23 +344,58 @@ class DimacsSolverBackend:
         *,
         name: Optional[str] = None,
         extra_args: Sequence[str] = (),
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        quarantine: Optional[BackendQuarantine] = None,
     ) -> None:
+        if max_retries < 0:
+            raise BackendError("max_retries must be non-negative")
+        if retry_backoff_s < 0:
+            raise BackendError("retry_backoff_s must be non-negative")
         self.executable = executable
         self.name = name or Path(executable).stem
         self.extra_args = tuple(extra_args)
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.quarantine = quarantine
 
     def create(self) -> "_DimacsHandle":
-        return _DimacsHandle(self.executable, self.name, self.extra_args)
+        return _DimacsHandle(
+            self.executable,
+            self.name,
+            self.extra_args,
+            max_retries=self.max_retries,
+            retry_backoff_s=self.retry_backoff_s,
+            quarantine=self.quarantine,
+        )
 
 
 class _DimacsHandle:
-    def __init__(self, executable: str, family: str, extra_args: Tuple[str, ...]) -> None:
+    def __init__(
+        self,
+        executable: str,
+        family: str,
+        extra_args: Tuple[str, ...],
+        *,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        quarantine: Optional[BackendQuarantine] = None,
+    ) -> None:
         self._executable = executable
         self._family = family
         self._extra_args = extra_args
+        self._max_retries = max_retries
+        self._retry_backoff_s = retry_backoff_s
+        self._quarantine = quarantine if quarantine is not None else QUARANTINE
         self._cnf: Optional[CNF] = None
         self._model: Dict[int, bool] = {}
-        self._stats: Dict[str, float] = {"subprocess_calls": 0, "subprocess_time": 0.0}
+        self._stats: Dict[str, float] = {
+            "subprocess_calls": 0,
+            "subprocess_time": 0.0,
+            "crashes": 0,
+            "retries": 0,
+            "exhausted_calls": 0,
+        }
 
     def load(self, cnf: CNF) -> bool:
         self._cnf = cnf
@@ -249,8 +408,6 @@ class _DimacsHandle:
         conflict_limit: Optional[int] = None,
         time_limit: Optional[float] = None,
     ) -> SolveResult:
-        import time as _time
-
         if self._cnf is None:
             raise BackendError("solve() called before load()")
         self._model = {}
@@ -282,8 +439,20 @@ class _DimacsHandle:
                 for literal in assumptions:
                     handle.write(f"{literal} 0\n")
             command.append(path)
-            deadline = None if time_limit is None else time_limit + 5.0
-            start = _time.monotonic()
+            return self._solve_with_retries(command, time_limit)
+        finally:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def _solve_with_retries(
+        self, command: List[str], time_limit: Optional[float]
+    ) -> SolveResult:
+        """Run the solver, retrying the exact formula on crash exit codes."""
+        deadline = None if time_limit is None else time_limit + 5.0
+        for attempt in range(self._max_retries + 1):
+            start = time.monotonic()
             try:
                 completed = subprocess.run(
                     command,
@@ -293,6 +462,7 @@ class _DimacsHandle:
                     text=True,
                 )
             except subprocess.TimeoutExpired:
+                # A timeout is the budget expiring, not a solver failure.
                 return SolveResult.UNKNOWN
             except OSError as exc:
                 raise BackendError(
@@ -300,18 +470,28 @@ class _DimacsHandle:
                 ) from exc
             finally:
                 self._stats["subprocess_calls"] += 1
-                self._stats["subprocess_time"] += _time.monotonic() - start
-        finally:
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+                self._stats["subprocess_time"] += time.monotonic() - start
 
-        if completed.returncode == 10:
-            self._model = self._parse_model(completed.stdout)
-            return SolveResult.SAT
-        if completed.returncode == 20:
-            return SolveResult.UNSAT
+            verdict = classify_dimacs_exit(completed.returncode)
+            if verdict != "crash":
+                self._quarantine.record_success(self._family)
+                if verdict == "sat":
+                    self._model = self._parse_model(completed.stdout)
+                    return SolveResult.SAT
+                if verdict == "unsat":
+                    return SolveResult.UNSAT
+                return SolveResult.UNKNOWN
+
+            self._stats["crashes"] += 1
+            if attempt < self._max_retries:
+                self._stats["retries"] += 1
+                if self._retry_backoff_s > 0:
+                    time.sleep(self._retry_backoff_s * (2 ** attempt))
+
+        # Every attempt crashed: count it against the quarantine and report
+        # UNKNOWN so the sweep degrades instead of failing.
+        self._stats["exhausted_calls"] += 1
+        self._quarantine.record_crash(self._family)
         return SolveResult.UNKNOWN
 
     def _parse_model(self, stdout: str) -> Dict[int, bool]:

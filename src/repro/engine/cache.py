@@ -59,6 +59,28 @@ def topology_fingerprint_payload(topology: Topology) -> dict:
     }
 
 
+def topology_cost_payload(topology: Topology) -> dict:
+    """The cost-model part of a topology: what the router/simulator observe.
+
+    Structure (:func:`topology_fingerprint_payload`) decides satisfiability;
+    these parameters decide which satisfiable algorithm *wins* at a given
+    buffer size.  Routing keys hash both, so a routing table built under old
+    alpha/beta figures — or before a ``LinkDegraded`` fault inflated a link —
+    is invalidated instead of silently served.
+    """
+    return {
+        "alpha": topology.alpha,
+        "beta": topology.beta,
+        "link_latency": sorted(
+            ([src, dst], value) for (src, dst), value in topology.link_latency.items()
+        ),
+        "link_beta_scale": sorted(
+            ([src, dst], value)
+            for (src, dst), value in topology.link_beta_scale.items()
+        ),
+    }
+
+
 def fingerprint(
     collective: str,
     topology: Topology,

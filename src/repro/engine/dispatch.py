@@ -43,7 +43,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.instance import make_instance
 from ..topology import Topology
-from .backends import get_backend
+from .backends import QUARANTINE, BackendQuarantine, get_backend
 from .cache import AlgorithmCache, lookup_result, store_result
 from .session import SessionFamily
 
@@ -67,6 +67,13 @@ class SweepRequest:
     time_limit: Optional[float] = None
     conflict_limit: Optional[int] = None
     stop_at_first_sat: bool = True
+    #: The deterministic UNKNOWN policy: when a probe through a derived
+    #: formula (a shared-prefix family frame) comes back UNKNOWN, retry the
+    #: *exact* standalone formula with the same per-probe budget before
+    #: conceding the lattice point.  Strategies that already solve exact
+    #: formulas (serial/parallel/speculative) are unaffected, so frontiers
+    #: agree across strategies under resource limits.
+    unknown_retry: bool = True
 
 
 @dataclass
@@ -77,12 +84,14 @@ class SweepStats:
     solver_calls: int = 0
     cache_hits: int = 0
     candidates_probed: int = 0
+    unknown_retries: int = 0
 
     def merge(self, other: "SweepStats") -> None:
         self.encode_calls += other.encode_calls
         self.solver_calls += other.solver_calls
         self.cache_hits += other.cache_hits
         self.candidates_probed += other.candidates_probed
+        self.unknown_retries += other.unknown_retries
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -90,6 +99,7 @@ class SweepStats:
             "solver_calls": self.solver_calls,
             "cache_hits": self.cache_hits,
             "candidates_probed": self.candidates_probed,
+            "unknown_retries": self.unknown_retries,
         }
 
 
@@ -221,6 +231,8 @@ class IncrementalDispatcher:
                 outcome.stats.encode_calls += family.encode_calls - before
                 outcome.stats.solver_calls += 1
                 outcome.stats.candidates_probed += 1
+                if result.is_unknown and request.unknown_retry:
+                    result = self._retry_exact(request, rounds, chunks, result, outcome)
                 if cache is not None:
                     store_result(
                         cache, result, encoding=request.encoding, prune=request.prune
@@ -229,6 +241,38 @@ class IncrementalDispatcher:
             if result.is_sat and request.stop_at_first_sat:
                 break
         return outcome
+
+    @staticmethod
+    def _retry_exact(
+        request: SweepRequest, rounds: int, chunks: int, family_result, outcome: SweepOutcome
+    ):
+        """The deterministic UNKNOWN policy (see :class:`SweepRequest`).
+
+        A family frame solves a *larger* shared formula under assumptions,
+        so it can exhaust a budget where the standalone formula would not —
+        and the serial strategy, which always solves standalone formulas,
+        would then disagree with this one on the frontier.  Retrying the
+        exact formula with the same per-probe budget restores agreement;
+        the family's SAT/UNSAT verdicts are sound and are never retried.
+        """
+        from ..core.synthesizer import synthesize
+
+        instance = make_instance(
+            request.collective, request.topology, chunks,
+            request.steps, rounds, root=request.root,
+        )
+        retry = synthesize(
+            instance,
+            encoding=request.encoding,
+            prune=request.prune,
+            time_limit=request.time_limit,
+            conflict_limit=request.conflict_limit,
+            backend=request.backend,
+        )
+        outcome.stats.unknown_retries += 1
+        outcome.stats.encode_calls += 1
+        outcome.stats.solver_calls += 1
+        return retry if not retry.is_unknown else family_result
 
 
 # ----------------------------------------------------------------------
@@ -437,6 +481,7 @@ class SpeculativeDispatcher:
         *,
         lookahead: int = 1,
         portfolio: Optional[Sequence[str]] = None,
+        quarantine: Optional[BackendQuarantine] = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise DispatchError("max_workers must be at least 1")
@@ -449,6 +494,7 @@ class SpeculativeDispatcher:
         )
         if self.portfolio is not None and len(set(self.portfolio)) != len(self.portfolio):
             raise DispatchError("portfolio backends must be distinct")
+        self.quarantine = quarantine if quarantine is not None else QUARANTINE
 
     # ------------------------------------------------------------------
     def sweep(self, request: SweepRequest, cache: Optional[AlgorithmCache] = None) -> SweepOutcome:
@@ -518,13 +564,31 @@ class SpeculativeDispatcher:
             initargs=(shared,),
         )
         try:
+            def active_backends() -> List[Optional[str]]:
+                """The portfolio minus quarantined members (never empty).
+
+                Quarantine filtering happens at submit time, so a backend
+                benched mid-batch stops receiving new candidates while its
+                in-flight ones drain normally.  If *every* portfolio member
+                is benched the full portfolio runs anyway — refusing to
+                solve would be worse than racing flaky solvers.
+                """
+                if self.portfolio is None:
+                    return list(backends)
+                healthy = [
+                    name for name in backends
+                    if not self.quarantine.is_quarantined(name)
+                ]
+                return healthy or list(backends)
+
             def submit_request(index: int) -> None:
                 state = states[index]
                 store = self.portfolio is None
+                racers = active_backends()
                 for cand in sorted(state.inflight):
                     rounds, chunks = state.candidates[cand]
                     group = candidate_futures.setdefault((index, cand), [])
-                    for backend in backends:
+                    for backend in racers:
                         future = pool.submit(
                             _solve_candidate_worker,
                             (state.request.steps, rounds, chunks, backend, store),
@@ -580,7 +644,12 @@ class SpeculativeDispatcher:
                             state.inflight.discard(cand)
                         continue
                     result = future.result()  # worker errors propagate
-                    self._record(state, cand, backend, result, backends)
+                    # Crash counters travel back from the worker process in
+                    # the result's solver stats; fold them into the parent's
+                    # quarantine so submit-time filtering sees them.
+                    self._note_backend_health(result)
+                    expected = len(candidate_futures.get((index, cand), ()))
+                    self._record(state, cand, backend, result, expected)
                     if state.results[cand] is None:
                         continue  # portfolio race still undecided
                     # The race is decided: stop the losing sibling backends
@@ -637,10 +706,25 @@ class SpeculativeDispatcher:
         state.inflight = set(pending)
         return state
 
+    def _note_backend_health(self, result) -> None:
+        """Feed a worker result's crash accounting into the quarantine."""
+        stats = getattr(result, "solver_stats", None) or {}
+        exhausted = int(stats.get("exhausted_calls", 0) or 0)
+        if exhausted:
+            for _ in range(exhausted):
+                self.quarantine.record_crash(result.backend)
+        elif not result.is_unknown and not result.cache_hit:
+            self.quarantine.record_success(result.backend)
+
     def _record(
-        self, state: _SweepState, cand: int, backend: str, result, backends: List[str]
+        self, state: _SweepState, cand: int, backend: str, result, expected: int
     ) -> None:
-        """Fold one worker return into the candidate's verdict."""
+        """Fold one worker return into the candidate's verdict.
+
+        ``expected`` is how many racers were submitted for this candidate
+        (quarantine filtering makes it per-candidate, not the portfolio
+        size).
+        """
         if state.results[cand] is not None:
             return  # a sibling already decided this candidate
         if self.portfolio is None:
@@ -654,8 +738,8 @@ class SpeculativeDispatcher:
             return
         returned = state.verdicts.setdefault(cand, [])
         returned.append(result)
-        if len(returned) == len(backends):
-            # Every backend gave up within its limits: UNKNOWN it is.
+        if len(returned) >= expected:
+            # Every racer gave up within its limits: UNKNOWN it is.
             state.results[cand] = returned[0]
             state.inflight.discard(cand)
 

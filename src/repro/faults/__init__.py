@@ -1,0 +1,33 @@
+"""Fault models, degraded-topology derivation and fault injection."""
+
+from .inject import (
+    FaultInjectionError,
+    FaultViolation,
+    execute_with_faults,
+    scan_program,
+    simulate_with_faults,
+)
+from .models import (
+    Fault,
+    FaultError,
+    FaultSet,
+    LinkDegraded,
+    LinkDown,
+    RankDown,
+    fault_from_json,
+)
+
+__all__ = [
+    "Fault",
+    "FaultError",
+    "FaultInjectionError",
+    "FaultSet",
+    "FaultViolation",
+    "LinkDegraded",
+    "LinkDown",
+    "RankDown",
+    "execute_with_faults",
+    "fault_from_json",
+    "scan_program",
+    "simulate_with_faults",
+]

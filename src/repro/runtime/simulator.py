@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..core.algorithm import Algorithm
-from ..topology import Topology
+from ..topology import DEFAULT_LINK_LATENCY_S, Topology
 from .program import OpCode, Program
 
 
@@ -138,10 +138,12 @@ class Simulator:
             raise SimulationError(f"no link {src}->{dst} in topology {self.topology.name!r}")
         # A capacity-b link aggregates b unit-bandwidth lanes (e.g. the
         # double-NVLink DGX-1 edges), so its per-byte time is beta / b.
-        return self.topology.beta / (capacity * protocol.bandwidth_multiplier)
+        # Fault models inflate individual links via ``link_beta_scale``.
+        scale = self.topology.link_beta_scale.get((src, dst), 1.0)
+        return self.topology.beta * scale / (capacity * protocol.bandwidth_multiplier)
 
     def link_alpha(self, src: int, dst: int) -> float:
-        return self.topology.link_latency.get((src, dst), 0.7e-6)
+        return self.topology.link_latency.get((src, dst), DEFAULT_LINK_LATENCY_S)
 
     # ------------------------------------------------------------------
     def simulate(self, program: Program, size_bytes: float) -> SimulationResult:

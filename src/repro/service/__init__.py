@@ -16,11 +16,15 @@ layering buffer-size routing tables over the algorithm cache
 from .api import (
     API_VERSION,
     DEFAULT_DEADLINE_S,
+    FAULT_ACTIONS,
+    FaultRequest,
+    FaultResponse,
     PlanRequest,
     PlanResponse,
     ServiceError,
 )
 from .broker import Broker, BrokerError, BrokerStats, Job, Ticket
+from .faults import FaultBoard, apply_fault_request
 from .registry import (
     DEFAULT_ROUTE_SIZES,
     PlanRegistry,
@@ -38,6 +42,7 @@ from .server import (
     ServerThread,
     check_health,
     make_server,
+    request_fault,
     request_plan,
 )
 from .workers import (
@@ -57,6 +62,10 @@ __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "DEFAULT_ROUTE_SIZES",
+    "FAULT_ACTIONS",
+    "FaultBoard",
+    "FaultRequest",
+    "FaultResponse",
     "Job",
     "PlanRegistry",
     "PlanRequest",
@@ -72,11 +81,13 @@ __all__ = [
     "Ticket",
     "WorkerError",
     "WorkerPool",
+    "apply_fault_request",
     "baseline_algorithm",
     "build_routing_table",
     "check_health",
     "default_registry",
     "make_server",
+    "request_fault",
     "request_plan",
     "routing_key",
 ]

@@ -237,6 +237,7 @@ class PlanResponse:
     coalesced: bool = False           # True when this caller shared another's work
     route: Optional[Dict[str, object]] = None  # routed mode: chosen table entry
     error: Optional[str] = None
+    error_kind: Optional[str] = None  # exception class name when status == "error"
 
     @property
     def ok(self) -> bool:
@@ -264,6 +265,8 @@ class PlanResponse:
             data["route"] = self.route
         if self.error is not None:
             data["error"] = self.error
+        if self.error_kind is not None:
+            data["error_kind"] = self.error_kind
         return data
 
     @classmethod
@@ -283,6 +286,7 @@ class PlanResponse:
             coalesced=bool(data.get("coalesced", False)),
             route=data.get("route"),
             error=data.get("error"),
+            error_kind=data.get("error_kind"),
         )
 
     def with_wait(self, wait_time_s: float, *, coalesced: bool) -> "PlanResponse":
@@ -299,3 +303,147 @@ class PlanResponse:
             )
         reason = f": {self.error}" if self.error else ""
         return f"{key} -> {self.status}{reason}"
+
+
+# ----------------------------------------------------------------------
+# Fault registration
+# ----------------------------------------------------------------------
+#: Fault endpoint verbs.
+FAULT_ACTIONS = ("register", "clear", "status")
+
+
+@dataclass(frozen=True)
+class FaultRequest:
+    """One fault-board mutation or query against a named topology.
+
+    ``register`` merges the carried faults into the board for the topology,
+    ``clear`` drops every registered fault, ``status`` reads back the active
+    set without mutating anything.  ``faults`` uses the wire form of
+    :meth:`repro.faults.FaultSet.to_json`.
+    """
+
+    topology: str
+    action: str = "status"
+    faults: tuple = ()
+
+    def validate(self) -> "FaultRequest":
+        if self.action not in FAULT_ACTIONS:
+            raise ServiceError(
+                f"unknown fault action {self.action!r} (expected one of {FAULT_ACTIONS})"
+            )
+        if self.action == "register" and not self.faults:
+            raise ServiceError("register requires at least one fault")
+        if self.action != "register" and self.faults:
+            raise ServiceError(f"action {self.action!r} takes no faults")
+        self.fault_set()  # raises on malformed fault payloads
+        self.resolve_topology()
+        return self
+
+    def resolve_topology(self) -> Topology:
+        try:
+            return parse_topology(self.topology)
+        except TopologySpecError as exc:
+            raise ServiceError(str(exc)) from exc
+
+    def fault_set(self):
+        from ..faults import FaultError, FaultSet
+
+        try:
+            return FaultSet.from_json(list(self.faults))
+        except FaultError as exc:
+            raise ServiceError(str(exc)) from exc
+
+    def to_json(self) -> dict:
+        data = {
+            "version": API_VERSION,
+            "topology": self.topology,
+            "action": self.action,
+        }
+        if self.faults:
+            data["faults"] = list(self.faults)
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultRequest":
+        if not isinstance(data, dict):
+            raise ServiceError("fault payload must be a JSON object")
+        version = data.get("version", API_VERSION)
+        if version != API_VERSION:
+            raise ServiceError(f"unsupported request version {version!r}")
+        faults = data.get("faults", [])
+        if not isinstance(faults, list):
+            raise ServiceError("faults must be a list of fault objects")
+        try:
+            request = cls(
+                topology=str(data["topology"]),
+                action=str(data.get("action", "status")),
+                faults=tuple(faults),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed fault request: {exc}") from exc
+        return request.validate()
+
+
+@dataclass
+class FaultResponse:
+    """The fault endpoint's answer: the board state after the action."""
+
+    status: str                       # "ok" or "error"
+    topology: str = ""
+    action: str = ""
+    faults: list = field(default_factory=list)   # active FaultSet wire form
+    fingerprint: str = ""             # FaultSet.fingerprint() ("" when empty)
+    degraded: Optional[Dict[str, object]] = None  # degraded-topology summary
+    invalidated: Optional[Dict[str, int]] = None  # routing tables / cache entries dropped
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json(self) -> dict:
+        data = {
+            "version": API_VERSION,
+            "status": self.status,
+            "topology": self.topology,
+            "action": self.action,
+            "faults": self.faults,
+            "fingerprint": self.fingerprint,
+        }
+        if self.degraded is not None:
+            data["degraded"] = self.degraded
+        if self.invalidated is not None:
+            data["invalidated"] = self.invalidated
+        if self.error is not None:
+            data["error"] = self.error
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultResponse":
+        if not isinstance(data, dict):
+            raise ServiceError("fault response payload must be a JSON object")
+        status = data.get("status")
+        if status not in ("ok", "error"):
+            raise ServiceError(f"invalid fault response status {status!r}")
+        return cls(
+            status=status,
+            topology=str(data.get("topology", "")),
+            action=str(data.get("action", "")),
+            faults=list(data.get("faults", [])),
+            fingerprint=str(data.get("fingerprint", "")),
+            degraded=data.get("degraded"),
+            invalidated=data.get("invalidated"),
+            error=data.get("error"),
+        )
+
+    def summary(self) -> str:
+        count = len(self.faults)
+        if not self.ok:
+            return f"fault {self.action} on {self.topology}: error: {self.error}"
+        noun = "fault" if count == 1 else "faults"
+        parts = [f"fault {self.action} on {self.topology}: {count} active {noun}"]
+        if self.invalidated:
+            tables = self.invalidated.get("tables", 0)
+            entries = self.invalidated.get("cache_entries", 0)
+            parts.append(f"invalidated {tables} tables / {entries} cache entries")
+        return "; ".join(parts)

@@ -27,9 +27,14 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from .api import PlanRequest, PlanResponse, ServiceError
+
+#: Server-side ceiling on deadline-less waits.  A ticket whose request has
+#: no deadline must still not block its caller thread forever: a wedged
+#: resolver would otherwise pin HTTP threads indefinitely.
+DEFAULT_MAX_WAIT_S = 3600.0
 
 
 class BrokerError(ServiceError):
@@ -47,6 +52,7 @@ class BrokerStats:
     cancelled: int = 0      # tickets detached by Ticket.cancel()
     expired: int = 0        # tickets that gave up waiting (deadline)
     dropped_jobs: int = 0   # queued jobs abandoned by all their waiters
+    resolver_crashes: int = 0  # jobs failed by a resolver exception
 
     def as_dict(self) -> Dict[str, float]:
         data = {
@@ -57,6 +63,7 @@ class BrokerStats:
             "cancelled": self.cancelled,
             "expired": self.expired,
             "dropped_jobs": self.dropped_jobs,
+            "resolver_crashes": self.resolver_crashes,
         }
         data["coalescing_ratio"] = (
             self.coalesced / self.submitted if self.submitted else 0.0
@@ -119,13 +126,17 @@ class Ticket:
     def wait(self, timeout: Optional[float] = None) -> PlanResponse:
         """Block until the job completes, the timeout or the deadline.
 
-        ``timeout`` defaults to the request's ``deadline_s`` (None waits
-        forever).  An expired wait detaches the ticket and returns a
-        ``timeout`` response — the job itself keeps running for any other
-        waiters and for the cache.
+        ``timeout`` defaults to the request's ``deadline_s``; a request
+        with no deadline is still bounded by the broker's ``max_wait_s``
+        so a wedged resolver cannot pin caller threads forever.  An
+        expired wait detaches the ticket and returns a ``timeout``
+        response — the job itself keeps running for any other waiters and
+        for the cache.
         """
         if timeout is None:
             timeout = self.request.deadline_s
+        if timeout is None:
+            timeout = self._broker.max_wait_s
         if self._event.wait(timeout):
             return self._response
         with self._broker._lock:
@@ -185,10 +196,23 @@ class Ticket:
 class Broker:
     """Coalescing FIFO of planning jobs (see module docstring)."""
 
-    def __init__(self, *, max_pending: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        *,
+        max_pending: Optional[int] = None,
+        max_wait_s: float = DEFAULT_MAX_WAIT_S,
+        key_fn: Optional[Callable[[PlanRequest], str]] = None,
+    ) -> None:
         if max_pending is not None and max_pending < 1:
             raise BrokerError("max_pending must be positive")
+        if max_wait_s <= 0:
+            raise BrokerError("max_wait_s must be positive")
         self.max_pending = max_pending
+        self.max_wait_s = max_wait_s
+        # The coalescing identity.  The planning service injects a fault-
+        # aware key function so requests issued after a fault registration
+        # never join an in-flight job that targets the healthy fabric.
+        self._key_fn = key_fn if key_fn is not None else (lambda r: r.request_key())
         self._lock = threading.Lock()
         self._available = threading.Condition(self._lock)
         self._queue: Deque[Job] = deque()
@@ -202,7 +226,7 @@ class Broker:
     def submit(self, request: PlanRequest) -> Ticket:
         """Enqueue (or join) the job for ``request`` and return a ticket."""
         request.validate()
-        key = request.request_key()
+        key = self._key_fn(request)
         with self._lock:
             if self._closed:
                 raise BrokerError("broker is closed")
@@ -261,12 +285,22 @@ class Broker:
             ticket._resolve(response)
 
     def fail(self, job: Job, exc: BaseException) -> None:
+        """Fail a job with a structured error response.
+
+        Callers (the worker pool) route resolver exceptions here so every
+        waiter gets a typed answer — the reason and the exception class —
+        instead of a hung ticket.  Each call counts as a resolver crash
+        in :class:`BrokerStats`.
+        """
+        with self._lock:
+            self._stats.resolver_crashes += 1
         self.complete(
             job,
             PlanResponse(
                 status="error",
                 request_key=job.key,
-                error=f"{type(exc).__name__}: {exc}",
+                error=f"resolver failed: {exc}",
+                error_kind=type(exc).__name__,
             ),
         )
 

@@ -1,0 +1,174 @@
+"""The service's fault board: live fault state keyed by topology.
+
+The board is the single mutable piece of fault-tolerance state in the
+planning service.  Operators register :class:`~repro.faults.Fault`\\ s
+against a topology (``POST /v1/fault`` / ``repro fault``); every
+subsequent plan request for that topology is resolved against the
+*degraded* topology the active :class:`~repro.faults.FaultSet` derives.
+
+Two integration points matter:
+
+* :meth:`FaultBoard.apply` is called by the resolver before any registry
+  lookup or synthesis, so cache keys, routing keys and verification all
+  see the degraded topology — a plan can never silently route over a
+  link the operator declared dead.
+* :meth:`FaultBoard.salted_key` is the broker's key function.  Request
+  keys are salted with the active fault fingerprint so a request issued
+  *after* a fault registration never coalesces with an in-flight
+  synthesis that still targets the healthy fabric.
+
+Entries are keyed by the *structural* topology fingerprint: two spec
+strings that parse to the same fabric (``dgx1`` vs. an equivalent
+explicit spec) share one fault set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Dict, Optional
+
+from ..faults import FaultError, FaultSet
+from ..interchange.plan import topology_fingerprint
+from ..topology import Topology
+from .api import FaultRequest, FaultResponse, PlanRequest, ServiceError
+
+
+class FaultBoard:
+    """Thread-safe registry of active fault sets, one per topology."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._faults: Dict[str, FaultSet] = {}
+        self._names: Dict[str, str] = {}  # fingerprint -> last seen topology name
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def register(self, topology: Topology, fault_set: FaultSet) -> FaultSet:
+        """Merge ``fault_set`` into the board; returns the active set.
+
+        The merged set is validated against the *healthy* topology before
+        it is installed, so a bad registration leaves the board untouched.
+        """
+        key = topology_fingerprint(topology)
+        with self._lock:
+            merged = self._faults.get(key, FaultSet.of()).merge(fault_set)
+            merged.validate(topology)
+            if merged:
+                self._faults[key] = merged
+                self._names[key] = topology.name
+            return merged
+
+    def clear(self, topology: Topology) -> FaultSet:
+        """Drop every fault registered for ``topology``; returns what was dropped."""
+        key = topology_fingerprint(topology)
+        with self._lock:
+            self._names.pop(key, None)
+            return self._faults.pop(key, FaultSet.of())
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, topology: Topology) -> FaultSet:
+        with self._lock:
+            return self._faults.get(topology_fingerprint(topology), FaultSet.of())
+
+    def apply(self, topology: Topology) -> Topology:
+        """The topology plans must target: degraded when faults are active."""
+        fault_set = self.get(topology)
+        return fault_set.apply(topology) if fault_set else topology
+
+    def salt(self, topology: Topology) -> str:
+        """Fault fingerprint for the active set; ``""`` when healthy."""
+        fault_set = self.get(topology)
+        return fault_set.fingerprint() if fault_set else ""
+
+    def salted_key(self, request: PlanRequest) -> str:
+        """Broker key function: the request key, salted by active faults.
+
+        Healthy topologies get the unsalted key, so coalescing/caching
+        behaviour is byte-identical to a service without a fault board.
+        """
+        key = request.request_key()
+        salt = self.salt(request.resolve_topology())
+        if not salt:
+            return key
+        return hashlib.sha256(f"{key}:{salt}".encode("utf-8")).hexdigest()
+
+    def snapshot(self) -> Dict[str, object]:
+        """Stats payload: active fault sets by topology."""
+        with self._lock:
+            return {
+                "active_topologies": len(self._faults),
+                "faults": {
+                    self._names.get(key, key[:12]): [f.describe() for f in fault_set]
+                    for key, fault_set in sorted(self._faults.items())
+                },
+            }
+
+
+def _degraded_summary(topology: Topology, degraded: Topology) -> Dict[str, object]:
+    healthy_links = set(topology.links())
+    degraded_links = set(degraded.links())
+    return {
+        "name": degraded.name,
+        "num_nodes": degraded.num_nodes,
+        "links": len(degraded_links),
+        "links_removed": len(healthy_links - degraded_links),
+        "fingerprint": topology_fingerprint(degraded),
+    }
+
+
+def apply_fault_request(
+    board: FaultBoard,
+    request: FaultRequest,
+    *,
+    registry: Optional[object] = None,
+) -> FaultResponse:
+    """Execute one :class:`FaultRequest` against the board.
+
+    ``register`` and ``clear`` additionally invalidate the registry's
+    routing tables and cache entries for the affected topology (both the
+    healthy and — on clear — the previously degraded one), so no stale
+    plan survives a fault-state transition.
+    """
+    try:
+        topology = request.resolve_topology()
+        if request.action == "register":
+            active = board.register(topology, request.fault_set())
+        elif request.action == "clear":
+            cleared = board.clear(topology)
+            active = FaultSet.of()
+        else:
+            active = board.get(topology)
+    except (FaultError, ServiceError) as exc:
+        return FaultResponse(
+            status="error",
+            topology=request.topology,
+            action=request.action,
+            error=str(exc),
+        )
+
+    invalidated = None
+    if registry is not None and request.action in ("register", "clear"):
+        invalidated = registry.invalidate(topology)
+        if request.action == "clear" and cleared:
+            stale = registry.invalidate(cleared.apply(topology))
+            invalidated = {
+                name: invalidated.get(name, 0) + stale.get(name, 0)
+                for name in set(invalidated) | set(stale)
+            }
+
+    degraded = None
+    if active:
+        degraded = _degraded_summary(topology, active.apply(topology))
+    return FaultResponse(
+        status="ok",
+        topology=request.topology,
+        action=request.action,
+        faults=active.to_json(),
+        fingerprint=active.fingerprint() if active else "",
+        degraded=degraded,
+        invalidated=invalidated,
+    )

@@ -39,6 +39,7 @@ from ..core.algorithm import Algorithm
 from ..engine.cache import (
     AlgorithmCache,
     default_cache,
+    topology_cost_payload,
     topology_fingerprint_payload,
 )
 from ..interchange.plan import AlgorithmPlan, plan_from_algorithm
@@ -302,11 +303,19 @@ def routing_key(
     encoding: str = "sccl",
     prune: bool = True,
 ) -> str:
-    """Content hash identifying one routing table (size-independent)."""
+    """Content hash identifying one routing table (size-independent).
+
+    The key covers both the *structural* topology payload (which links
+    exist — decides satisfiability) and the *cost* payload (alpha/beta
+    and per-link overrides — decides which frontier algorithm wins each
+    size range).  Changing cost parameters therefore addresses a fresh
+    table instead of serving routes scored under the old cost model.
+    """
     payload = {
         "version": ROUTES_VERSION,
         "collective": collective,
         "topology": topology_fingerprint_payload(topology),
+        "topology_cost": topology_cost_payload(topology),
         "root": root,
         "synchrony": synchrony,
         "encoding": encoding,
@@ -344,9 +353,17 @@ class PlanRegistry:
     # ------------------------------------------------------------------
     # Pinned plans (delegated to the algorithm cache)
     # ------------------------------------------------------------------
-    def lookup_pinned(self, request: PlanRequest) -> Optional[AlgorithmPlan]:
-        """Cached plan for a pinned request, or None."""
-        topology = request.resolve_topology()
+    def lookup_pinned(
+        self, request: PlanRequest, *, topology: Optional[Topology] = None
+    ) -> Optional[AlgorithmPlan]:
+        """Cached plan for a pinned request, or None.
+
+        ``topology`` overrides the request's spec-derived topology — the
+        resolver passes the *degraded* topology when faults are active, so
+        lookups address plans built for the fabric as it currently is.
+        """
+        if topology is None:
+            topology = request.resolve_topology()
         algorithm = self.cache.load_algorithm(
             request.collective,
             topology,
@@ -414,8 +431,11 @@ class PlanRegistry:
                 self._tables.pop(key, None)
         return path
 
-    def table_for(self, request: PlanRequest) -> Optional[RoutingTable]:
-        topology = request.resolve_topology()
+    def table_for(
+        self, request: PlanRequest, *, topology: Optional[Topology] = None
+    ) -> Optional[RoutingTable]:
+        if topology is None:
+            topology = request.resolve_topology()
         key = routing_key(
             request.collective,
             topology,
@@ -427,10 +447,10 @@ class PlanRegistry:
         return self.load_table(key)
 
     def route(
-        self, request: PlanRequest
+        self, request: PlanRequest, *, topology: Optional[Topology] = None
     ) -> Optional[Tuple[AlgorithmPlan, RouteEntry, RoutingTable]]:
         """Answer a routed request from a persisted table, or None."""
-        table = self.table_for(request)
+        table = self.table_for(request, topology=topology)
         if table is None:
             with self._lock:
                 self.route_misses += 1
@@ -446,8 +466,15 @@ class PlanRegistry:
         # loaded; skip per-request re-verification on the hot path.
         return table.plan_for(entry, verify=False), entry, table
 
-    def install_table(self, request: PlanRequest, table: RoutingTable) -> str:
-        topology = request.resolve_topology()
+    def install_table(
+        self,
+        request: PlanRequest,
+        table: RoutingTable,
+        *,
+        topology: Optional[Topology] = None,
+    ) -> str:
+        if topology is None:
+            topology = request.resolve_topology()
         key = routing_key(
             request.collective,
             topology,
@@ -458,6 +485,50 @@ class PlanRegistry:
         )
         self.save_table(key, table)
         return key
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self, topology: Topology) -> Dict[str, int]:
+        """Drop every routing table and cache entry built for ``topology``.
+
+        Called when the topology's fault state changes: any table or
+        cached algorithm addressed under the old fabric may route chunks
+        over links that no longer exist (or, on fault clearance, may
+        under-use links that are healthy again).  Tables are matched by
+        their embedded structural fingerprint; cache entries — whose keys
+        are opaque content hashes — by their descriptive instance
+        metadata (topology name and node count).
+        """
+        from ..interchange.plan import topology_fingerprint
+
+        target = topology_fingerprint(topology)
+        tables_dropped = 0
+        for path in self.tables():
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if data.get("topology_fingerprint") != target:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            with self._lock:
+                self._tables.pop(path.stem, None)
+            tables_dropped += 1
+
+        entries_dropped = 0
+        for _, entry in self.cache.entries():
+            meta = entry.instance or {}
+            if (
+                meta.get("topology") == topology.name
+                and meta.get("num_nodes") == topology.num_nodes
+            ):
+                self.cache.discard(entry.key)
+                entries_dropped += 1
+        return {"tables": tables_dropped, "cache_entries": entries_dropped}
 
     # ------------------------------------------------------------------
     def tables(self) -> List[Path]:

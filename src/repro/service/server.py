@@ -29,7 +29,14 @@ import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
-from .api import DEFAULT_DEADLINE_S, PlanRequest, PlanResponse, ServiceError
+from .api import (
+    DEFAULT_DEADLINE_S,
+    FaultRequest,
+    FaultResponse,
+    PlanRequest,
+    PlanResponse,
+    ServiceError,
+)
 from .workers import PlanningService
 
 DEFAULT_HOST = "127.0.0.1"
@@ -64,13 +71,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(404, {"error": f"no such endpoint {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802
+        if self.path == "/v1/fault":
+            self._handle_fault()
+            return
         if self.path != "/v1/plan":
             self._send(404, {"error": f"no such endpoint {self.path!r}"})
             return
         try:
-            length = int(self.headers.get("Content-Length", 0))
-            body = self.rfile.read(length) if length else b""
-            request = PlanRequest.from_json(json.loads(body.decode("utf-8")))
+            request = PlanRequest.from_json(self._read_body())
         except (ValueError, ServiceError) as exc:
             self._send(400, {"error": str(exc)})
             return
@@ -83,6 +91,20 @@ class _Handler(BaseHTTPRequestHandler):
             return
         status = 200 if response.ok else (504 if response.status == "timeout" else 422)
         self._send(status, response.to_json())
+
+    def _handle_fault(self) -> None:
+        try:
+            request = FaultRequest.from_json(self._read_body())
+        except (ValueError, ServiceError) as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        response = self.server.service.fault(request)
+        self._send(200 if response.ok else 422, response.to_json())
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        body = self.rfile.read(length) if length else b""
+        return json.loads(body.decode("utf-8"))
 
     # ------------------------------------------------------------------
     def _send(self, status: int, payload: dict) -> None:
@@ -173,6 +195,33 @@ def request_plan(
     except (urllib.error.URLError, OSError) as exc:
         raise ServiceError(f"cannot reach planning service at {url}: {exc}") from exc
     return PlanResponse.from_json(payload)
+
+
+def request_fault(
+    url: str, request: FaultRequest, *, timeout: float = 30.0
+) -> FaultResponse:
+    """POST a :class:`FaultRequest` to a running service (``repro fault``)."""
+    endpoint = url.rstrip("/") + "/v1/fault"
+    body = json.dumps(request.to_json()).encode("utf-8")
+    http_request = urllib.request.Request(
+        endpoint, data=body, headers={"Content-Type": "application/json"}, method="POST"
+    )
+    try:
+        with urllib.request.urlopen(http_request, timeout=timeout) as reply:
+            payload = json.loads(reply.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+        except ValueError:
+            raise ServiceError(f"service returned HTTP {exc.code}") from exc
+        if "status" not in payload:
+            raise ServiceError(
+                f"service rejected the fault request (HTTP {exc.code}): "
+                f"{payload.get('error', '?')}"
+            ) from exc
+    except (urllib.error.URLError, OSError) as exc:
+        raise ServiceError(f"cannot reach planning service at {url}: {exc}") from exc
+    return FaultResponse.from_json(payload)
 
 
 def check_health(url: str, *, timeout: float = 2.0) -> bool:

@@ -33,8 +33,16 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional
 
-from .api import DEFAULT_DEADLINE_S, PlanRequest, PlanResponse, ServiceError
+from .api import (
+    DEFAULT_DEADLINE_S,
+    FaultRequest,
+    FaultResponse,
+    PlanRequest,
+    PlanResponse,
+    ServiceError,
+)
 from .broker import Broker, Job, Ticket
+from .faults import FaultBoard, apply_fault_request
 from .registry import PlanRegistry, build_routing_table
 
 #: Resolver signature: (request, remaining_s) -> PlanResponse.
@@ -81,10 +89,13 @@ def baseline_algorithm(collective: str, topology, *, root: int = 0):
     return None
 
 
-def _baseline_response(request: PlanRequest, key: str, *, reason: str, started: float):
+def _baseline_response(
+    request: PlanRequest, key: str, *, reason: str, started: float, topology=None
+):
     from ..interchange.plan import plan_from_algorithm
 
-    topology = request.resolve_topology()
+    if topology is None:
+        topology = request.resolve_topology()
     algorithm = baseline_algorithm(request.collective, topology, root=request.root)
     if algorithm is None:
         return PlanResponse(
@@ -120,6 +131,7 @@ class SynthesisResolver:
         max_steps_margin: int = 4,
         sweep_strategy: str = "speculative",
         sweep_workers: Optional[int] = None,
+        fault_board: Optional[FaultBoard] = None,
     ) -> None:
         # sweep_strategy="speculative" forks a process pool from a worker
         # thread for cold routed builds.  That is safe here because pool
@@ -131,6 +143,12 @@ class SynthesisResolver:
         self.max_steps_margin = max_steps_margin
         self.sweep_strategy = sweep_strategy
         self.sweep_workers = sweep_workers
+        # Every resolution targets the fault board's view of the fabric:
+        # with active faults the degraded topology flows through cache
+        # lookups, routing keys, synthesis and baselines alike, so no
+        # answer can schedule traffic over a link declared dead.
+        self.fault_board = fault_board
+        self.replans = 0          # resolutions that targeted a degraded topology
         self.solves = 0           # backend solves performed (not replayed)
         self.registry_hits = 0    # answers served with zero solver work
         self._lock = threading.Lock()
@@ -145,13 +163,25 @@ class SynthesisResolver:
     def __call__(
         self, request: PlanRequest, remaining_s: Optional[float] = None
     ) -> PlanResponse:
+        topology = self._effective_topology(request)
         if request.mode == "pinned":
-            return self._resolve_pinned(request, remaining_s)
-        return self._resolve_routed(request, remaining_s)
+            return self._resolve_pinned(request, remaining_s, topology)
+        return self._resolve_routed(request, remaining_s, topology)
+
+    def _effective_topology(self, request: PlanRequest):
+        """The topology this resolution must target (degraded under faults)."""
+        base = request.resolve_topology()
+        if self.fault_board is None:
+            return base
+        topology = self.fault_board.apply(base)
+        if topology is not base:
+            with self._lock:
+                self.replans += 1
+        return topology
 
     # ------------------------------------------------------------------
     def _resolve_pinned(
-        self, request: PlanRequest, remaining_s: Optional[float]
+        self, request: PlanRequest, remaining_s: Optional[float], topology
     ) -> PlanResponse:
         from ..core import make_instance, synthesize
         from ..interchange.plan import plan_from_result
@@ -159,7 +189,7 @@ class SynthesisResolver:
         key = request.request_key()
         started = time.monotonic()
 
-        plan = self.registry.lookup_pinned(request)
+        plan = self.registry.lookup_pinned(request, topology=topology)
         if plan is not None:
             with self._lock:
                 self.registry_hits += 1
@@ -171,7 +201,6 @@ class SynthesisResolver:
                 solve_time_s=time.monotonic() - started,
             )
 
-        topology = request.resolve_topology()
         try:
             instance = make_instance(
                 request.collective,
@@ -214,17 +243,18 @@ class SynthesisResolver:
             )
         # UNKNOWN: the solver hit the deadline; degrade to a baseline.
         return _baseline_response(
-            request, key, reason="solver deadline exceeded", started=started
+            request, key, reason="solver deadline exceeded", started=started,
+            topology=topology,
         )
 
     # ------------------------------------------------------------------
     def _resolve_routed(
-        self, request: PlanRequest, remaining_s: Optional[float]
+        self, request: PlanRequest, remaining_s: Optional[float], topology
     ) -> PlanResponse:
         key = request.request_key()
         started = time.monotonic()
 
-        routed = self.registry.route(request)
+        routed = self.registry.route(request, topology=topology)
         if routed is not None:
             plan, entry, table = routed
             with self._lock:
@@ -242,8 +272,8 @@ class SynthesisResolver:
         # with the simulator, persist the table, then route.  Builds of the
         # same table (routed requests differing only in size) serialize on
         # a per-table lock; whoever waited re-checks the registry first.
-        with self._build_lock(request):
-            routed = self.registry.route(request)
+        with self._build_lock(request, topology):
+            routed = self.registry.route(request, topology=topology)
             if routed is not None:
                 plan, entry, table = routed
                 with self._lock:
@@ -257,7 +287,7 @@ class SynthesisResolver:
                     route=_route_payload(entry, table),
                 )
             try:
-                table = self._build_table(request, remaining_s)
+                table = self._build_table(request, remaining_s, topology)
             except Exception as exc:
                 return PlanResponse(
                     status="error", request_key=key, error=str(exc),
@@ -268,12 +298,14 @@ class SynthesisResolver:
                     request, key,
                     reason="frontier synthesis exceeded the deadline",
                     started=started,
+                    topology=topology,
                 )
-            self.registry.install_table(request, table)
+            self.registry.install_table(request, table, topology=topology)
         entry = table.route(float(request.size_bytes))
         if entry is None:  # pragma: no cover - tables tile [0, inf)
             return _baseline_response(
-                request, key, reason="no routing entry", started=started
+                request, key, reason="no routing entry", started=started,
+                topology=topology,
             )
         return PlanResponse(
             status="ok",
@@ -284,12 +316,12 @@ class SynthesisResolver:
             route=_route_payload(entry, table),
         )
 
-    def _build_lock(self, request: PlanRequest) -> threading.Lock:
+    def _build_lock(self, request: PlanRequest, topology) -> threading.Lock:
         from .registry import routing_key
 
         key = routing_key(
             request.collective,
-            request.resolve_topology(),
+            topology,
             root=request.root,
             synchrony=request.synchrony,
             encoding=request.encoding,
@@ -298,10 +330,9 @@ class SynthesisResolver:
         with self._lock:
             return self._table_locks.setdefault(key, threading.Lock())
 
-    def _build_table(self, request: PlanRequest, remaining_s: Optional[float]):
+    def _build_table(self, request: PlanRequest, remaining_s: Optional[float], topology):
         from ..core import pareto_synthesize
 
-        topology = request.resolve_topology()
         with self._lock:
             self.solves += 1
         frontier = pareto_synthesize(
@@ -328,7 +359,11 @@ class SynthesisResolver:
 
     def stats(self) -> Dict[str, int]:
         with self._lock:
-            return {"solves": self.solves, "registry_hits": self.registry_hits}
+            return {
+                "solves": self.solves,
+                "registry_hits": self.registry_hits,
+                "replans": self.replans,
+            }
 
 
 def _clamp_limit(remaining_s: Optional[float]) -> Optional[float]:
@@ -415,7 +450,12 @@ class WorkerPool:
     def _serve(self, job: Job) -> None:
         try:
             response = self.resolver(job.request, job.remaining_s())
-        except BaseException as exc:  # a resolver bug must not kill the pool
+        except (KeyboardInterrupt, SystemExit):
+            # Shutdown signals must propagate — but only after the job's
+            # waiters get a structured answer instead of a hung ticket.
+            self.broker.fail(job, ServiceError("worker interrupted during shutdown"))
+            raise
+        except Exception as exc:  # a resolver bug must not kill the pool
             self.broker.fail(job, exc)
         else:
             self.broker.complete(job, response)
@@ -434,12 +474,21 @@ class PlanningService:
         num_workers: int = 2,
         resolver: Optional[Resolver] = None,
         max_pending: Optional[int] = None,
+        fault_board: Optional[FaultBoard] = None,
     ) -> None:
         self.registry = registry if registry is not None else PlanRegistry()
+        self.fault_board = fault_board if fault_board is not None else FaultBoard()
         self.resolver = (
-            resolver if resolver is not None else SynthesisResolver(self.registry)
+            resolver
+            if resolver is not None
+            else SynthesisResolver(self.registry, fault_board=self.fault_board)
         )
-        self.broker = Broker(max_pending=max_pending)
+        # Coalescing keys are salted with the active fault fingerprint so a
+        # request submitted after a fault registration never joins an
+        # in-flight job still planning against the healthy fabric.
+        self.broker = Broker(
+            max_pending=max_pending, key_fn=self.fault_board.salted_key
+        )
         self.pool = WorkerPool(self.broker, self.resolver, num_workers=num_workers)
         self._started = False
 
@@ -481,10 +530,23 @@ class PlanningService:
             timeout = request.deadline_s if request.deadline_s is not None else DEFAULT_DEADLINE_S
         return ticket.wait(timeout)
 
+    def fault(self, request: FaultRequest) -> FaultResponse:
+        """Register, clear or inspect faults; invalidates affected plans.
+
+        Mutations invalidate the registry's routing tables and cache
+        entries for the affected topology, so the next plan request
+        replans against the new fabric instead of serving a stale answer.
+        """
+        return apply_fault_request(self.fault_board, request, registry=self.registry)
+
     def stats(self) -> Dict[str, object]:
+        from ..engine.backends import get_quarantine
+
         data: Dict[str, object] = {"broker": self.broker.stats()}
         data["registry"] = self.registry.stats()
         if hasattr(self.resolver, "stats"):
             data["resolver"] = self.resolver.stats()
         data["workers"] = self.pool.num_workers
+        data["faults"] = self.fault_board.snapshot()
+        data["quarantine"] = get_quarantine().stats()
         return data

@@ -20,6 +20,10 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 Link = Tuple[int, int]
 
+#: Per-link latency assumed when a topology carries no explicit override
+#: (the NVLink hop latency the simulator's cost model is calibrated to).
+DEFAULT_LINK_LATENCY_S = 0.7e-6
+
 
 class TopologyError(Exception):
     """Raised for malformed topologies or out-of-range nodes."""
@@ -64,6 +68,14 @@ class Topology:
         Per-byte cost (seconds/byte) of a unit-bandwidth link.
     link_latency:
         Optional per-link latency overrides used by the simulator.
+    link_beta_scale:
+        Optional per-link multipliers on the per-byte cost (``> 1`` means
+        slower than nominal).  Used by fault models to express degraded
+        links without touching the structural bandwidth relation.
+    provenance:
+        Free-form metadata describing how a derived topology was obtained
+        (e.g. the fault set applied to a healthy base topology).  Never
+        part of the structural fingerprint.
     """
 
     name: str
@@ -72,6 +84,8 @@ class Topology:
     alpha: float = 5e-6
     beta: float = 1.0 / 25e9
     link_latency: Dict[Link, float] = field(default_factory=dict)
+    link_beta_scale: Dict[Link, float] = field(default_factory=dict)
+    provenance: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
@@ -173,6 +187,8 @@ class Topology:
             alpha=self.alpha,
             beta=self.beta,
             link_latency={(d, s): v for (s, d), v in self.link_latency.items()},
+            link_beta_scale={(d, s): v for (s, d), v in self.link_beta_scale.items()},
+            provenance=dict(self.provenance),
         )
 
     def is_symmetric(self) -> bool:
@@ -199,7 +215,7 @@ class Topology:
 
     def to_dict(self) -> dict:
         """JSON-friendly serialization."""
-        return {
+        data = {
             "name": self.name,
             "num_nodes": self.num_nodes,
             "alpha": self.alpha,
@@ -213,6 +229,20 @@ class Topology:
                 for c in self.constraints
             ],
         }
+        # Cost overrides and provenance are optional extras: omit them when
+        # empty so documents produced before they existed stay byte-stable.
+        if self.link_latency:
+            data["link_latency"] = [
+                [src, dst, value] for (src, dst), value in sorted(self.link_latency.items())
+            ]
+        if self.link_beta_scale:
+            data["link_beta_scale"] = [
+                [src, dst, value]
+                for (src, dst), value in sorted(self.link_beta_scale.items())
+            ]
+        if self.provenance:
+            data["provenance"] = dict(self.provenance)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Topology":
@@ -229,4 +259,13 @@ class Topology:
                 )
                 for entry in data.get("constraints", [])
             ],
+            link_latency={
+                (int(src), int(dst)): float(value)
+                for src, dst, value in data.get("link_latency", [])
+            },
+            link_beta_scale={
+                (int(src), int(dst)): float(value)
+                for src, dst, value in data.get("link_beta_scale", [])
+            },
+            provenance=dict(data.get("provenance", {})),
         )

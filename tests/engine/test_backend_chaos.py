@@ -1,0 +1,261 @@
+"""Chaos tests: crashing subprocess solvers, retry/backoff and quarantine.
+
+The "solver" here is a tiny Python script whose exit code follows a plan
+written next to it: SAT-competition codes (10/20/0) are verdicts, anything
+else is a crash.  A side-car counter file makes crash-then-recover
+scenarios deterministic without real kissat/cadical binaries.
+"""
+
+import sys
+import textwrap
+
+import pytest
+
+from repro.core import make_instance, synthesize
+from repro.engine import (
+    BackendQuarantine,
+    DimacsSolverBackend,
+    classify_dimacs_exit,
+    register_backend,
+    unregister_backend,
+)
+from repro.solver.sat import SolveResult
+from repro.solver.cnf import CNF
+from repro.topology import ring
+
+
+def make_crashy_solver(tmp_path, exit_codes):
+    """A fake DIMACS solver whose Nth invocation exits with exit_codes[N]
+    (the last code repeats forever).  Returns (script_path, counter_path)."""
+    counter = tmp_path / "attempts.txt"
+    script = tmp_path / "crashy_solver.py"
+    script.write_text(
+        textwrap.dedent(
+            f"""
+            import pathlib, sys
+            counter = pathlib.Path({str(counter)!r})
+            n = int(counter.read_text()) if counter.exists() else 0
+            counter.write_text(str(n + 1))
+            codes = {list(exit_codes)!r}
+            code = codes[min(n, len(codes) - 1)]
+            if code == 10:
+                print("s SATISFIABLE")
+                print("v 1 0")
+            sys.exit(code)
+            """
+        )
+    )
+    return script, counter
+
+
+def crashy_backend(tmp_path, exit_codes, **kwargs):
+    # name="crashy" keeps the backend out of _DIMACS_LIMIT_FLAGS, so no
+    # solver-specific limit flags are appended to the command line.
+    script, counter = make_crashy_solver(tmp_path, exit_codes)
+    backend = DimacsSolverBackend(
+        sys.executable,
+        name="crashy",
+        extra_args=(str(script),),
+        **kwargs,
+    )
+    return backend, counter
+
+
+def tiny_cnf():
+    cnf = CNF()
+    a = cnf.new_var()
+    cnf.add_clause([a])
+    return cnf
+
+
+class TestExitClassification:
+    def test_sat_competition_codes(self):
+        assert classify_dimacs_exit(10) == "sat"
+        assert classify_dimacs_exit(20) == "unsat"
+        assert classify_dimacs_exit(0) == "unknown"
+
+    @pytest.mark.parametrize("code", [1, 7, 127, -9, -11])
+    def test_everything_else_is_a_crash(self, code):
+        assert classify_dimacs_exit(code) == "crash"
+
+
+class TestQuarantine:
+    def test_benches_after_threshold_consecutive_crashes(self):
+        q = BackendQuarantine(threshold=3)
+        assert not q.record_crash("x")
+        assert not q.record_crash("x")
+        assert q.record_crash("x")  # third consecutive crash benches
+        assert q.is_quarantined("x")
+
+    def test_success_resets_the_counter(self):
+        q = BackendQuarantine(threshold=2)
+        q.record_crash("x")
+        q.record_success("x")
+        q.record_crash("x")
+        assert not q.is_quarantined("x")
+
+    def test_cooldown_readmits(self):
+        clock = [0.0]
+        q = BackendQuarantine(threshold=1, cooldown_s=10.0, clock=lambda: clock[0])
+        q.record_crash("x")
+        assert q.is_quarantined("x")
+        clock[0] = 11.0
+        assert not q.is_quarantined("x")
+
+    def test_release_and_stats(self):
+        q = BackendQuarantine(threshold=1)
+        q.record_crash("x")
+        assert q.quarantined() == ["x"]
+        q.release("x")
+        assert q.quarantined() == []
+        stats = q.stats()
+        assert stats["total_crashes"] == {"x": 1}
+
+
+class TestCrashRetry:
+    def test_crash_then_verdict_is_retried(self, tmp_path):
+        backend, counter = crashy_backend(
+            tmp_path, [7, 7, 20], max_retries=2, retry_backoff_s=0.0,
+            quarantine=BackendQuarantine(threshold=3),
+        )
+        handle = backend.create()
+        handle.load(tiny_cnf())
+        assert handle.solve() is SolveResult.UNSAT
+        assert int(counter.read_text()) == 3
+        stats = handle.stats()
+        assert stats["crashes"] == 2
+        assert stats["retries"] == 2
+        assert stats["exhausted_calls"] == 0
+
+    def test_crash_then_sat_parses_model(self, tmp_path):
+        backend, _ = crashy_backend(
+            tmp_path, [137, 10], max_retries=1, retry_backoff_s=0.0,
+            quarantine=BackendQuarantine(),
+        )
+        handle = backend.create()
+        handle.load(tiny_cnf())
+        assert handle.solve() is SolveResult.SAT
+        assert handle.model()[1] is True
+
+    def test_exhausted_retries_report_unknown_not_crash(self, tmp_path):
+        backend, counter = crashy_backend(
+            tmp_path, [9], max_retries=2, retry_backoff_s=0.0,
+            quarantine=BackendQuarantine(threshold=100),
+        )
+        handle = backend.create()
+        handle.load(tiny_cnf())
+        assert handle.solve() is SolveResult.UNKNOWN
+        assert int(counter.read_text()) == 3  # 1 attempt + 2 retries
+        assert handle.stats()["exhausted_calls"] == 1
+
+    def test_exhausted_calls_feed_the_quarantine(self, tmp_path):
+        quarantine = BackendQuarantine(threshold=2)
+        backend, _ = crashy_backend(
+            tmp_path, [9], max_retries=0, retry_backoff_s=0.0, quarantine=quarantine,
+        )
+        handle = backend.create()
+        handle.load(tiny_cnf())
+        handle.solve()
+        assert not quarantine.is_quarantined("crashy")
+        handle.solve()
+        assert quarantine.is_quarantined("crashy")
+
+    def test_verdict_resets_quarantine_counter(self, tmp_path):
+        quarantine = BackendQuarantine(threshold=2)
+        backend, _ = crashy_backend(
+            tmp_path, [9, 20, 9], max_retries=0, retry_backoff_s=0.0,
+            quarantine=quarantine,
+        )
+        handle = backend.create()
+        handle.load(tiny_cnf())
+        handle.solve()  # crash -> counter 1
+        handle.solve()  # unsat -> counter reset
+        handle.solve()  # crash -> counter 1 again
+        assert not quarantine.is_quarantined("crashy")
+
+
+class TestSweepSurvival:
+    def test_synthesis_survives_an_always_crashing_backend(self, tmp_path):
+        """A dying solver degrades the answer to UNKNOWN; it never raises."""
+        backend, _ = crashy_backend(
+            tmp_path, [9], max_retries=1, retry_backoff_s=0.0,
+            quarantine=BackendQuarantine(threshold=100),
+        )
+        register_backend(backend, replace=True)
+        try:
+            result = synthesize(
+                make_instance("Allgather", ring(4), 1, 2, 3), backend="crashy"
+            )
+            assert result.is_unknown
+            assert result.solver_stats.get("exhausted_calls", 0) >= 1
+        finally:
+            unregister_backend("crashy")
+
+    def test_worker_crashes_feed_the_parent_quarantine(self, tmp_path):
+        """Crash counters travel back from pool workers: a portfolio
+        member that dies in child processes gets benched in the parent."""
+        from repro.engine import SpeculativeDispatcher, SweepRequest
+
+        quarantine = BackendQuarantine(threshold=2)
+        backend, counter = crashy_backend(
+            tmp_path, [9], max_retries=0, retry_backoff_s=0.0, quarantine=quarantine,
+        )
+        register_backend(backend, replace=True)
+        try:
+            dispatcher = SpeculativeDispatcher(
+                max_workers=2, portfolio=["crashy"], quarantine=quarantine
+            )
+            request = SweepRequest(
+                collective="Allgather", topology=ring(4), steps=3,
+                candidates=((3, 1), (4, 1)),
+            )
+            outcome = dispatcher.sweep(request)
+            # A dying solver degrades every probe to UNKNOWN, never raises.
+            assert outcome.results
+            assert all(r.is_unknown for r in outcome.results)
+            assert int(counter.read_text()) >= 2
+            assert quarantine.is_quarantined("crashy")
+        finally:
+            unregister_backend("crashy")
+
+    def test_quarantined_backend_is_not_raced(self, tmp_path):
+        """Submit-time filtering: a benched portfolio member receives no
+        work, and the sweep completes on the healthy backends alone."""
+        from repro.engine import SpeculativeDispatcher, SweepRequest
+
+        quarantine = BackendQuarantine(threshold=1)
+        quarantine.record_crash("crashy")  # benched before the sweep
+        backend, counter = crashy_backend(
+            tmp_path, [9], max_retries=0, retry_backoff_s=0.0, quarantine=quarantine,
+        )
+        register_backend(backend, replace=True)
+        try:
+            dispatcher = SpeculativeDispatcher(
+                max_workers=2, portfolio=["cdcl", "crashy"], quarantine=quarantine
+            )
+            request = SweepRequest(
+                collective="Allgather", topology=ring(4), steps=3,
+                candidates=((3, 1), (4, 1)),
+            )
+            outcome = dispatcher.sweep(request)
+            assert any(r.is_sat for r in outcome.results)
+            assert not counter.exists()  # crashy was never invoked
+        finally:
+            unregister_backend("crashy")
+
+    def test_fully_quarantined_portfolio_still_solves(self, tmp_path):
+        """When every member is benched the full portfolio races anyway —
+        refusing to solve would be worse than racing flaky solvers."""
+        from repro.engine import SpeculativeDispatcher, SweepRequest
+
+        quarantine = BackendQuarantine(threshold=1)
+        quarantine.record_crash("cdcl")
+        dispatcher = SpeculativeDispatcher(
+            max_workers=2, portfolio=["cdcl"], quarantine=quarantine
+        )
+        request = SweepRequest(
+            collective="Allgather", topology=ring(4), steps=3,
+            candidates=((3, 1), (4, 1)),
+        )
+        outcome = dispatcher.sweep(request)
+        assert any(r.is_sat for r in outcome.results)

@@ -1,0 +1,159 @@
+"""Tests for fault models, fault sets and degraded-topology derivation."""
+
+import pytest
+
+from repro.faults import (
+    FaultError,
+    FaultSet,
+    LinkDegraded,
+    LinkDown,
+    RankDown,
+    fault_from_json,
+)
+from repro.runtime import Simulator, lower
+from repro.topology import Topology, dgx1, fully_connected, ring
+
+
+class TestFaultModels:
+    def test_link_down_round_trip(self):
+        fault = LinkDown(0, 1)
+        assert fault_from_json(fault.to_json()) == fault
+
+    def test_rank_down_round_trip(self):
+        fault = RankDown(3)
+        assert fault_from_json(fault.to_json()) == fault
+
+    def test_link_degraded_round_trip(self):
+        fault = LinkDegraded(0, 1, alpha_factor=2.0, beta_factor=4.0, bandwidth=1)
+        assert fault_from_json(fault.to_json()) == fault
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(FaultError):
+            LinkDown(2, 2)
+        with pytest.raises(FaultError):
+            LinkDegraded(1, 1)
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(FaultError):
+            RankDown(-1)
+
+    def test_non_positive_factors_rejected(self):
+        with pytest.raises(FaultError):
+            LinkDegraded(0, 1, alpha_factor=0.0)
+        with pytest.raises(FaultError):
+            LinkDegraded(0, 1, beta_factor=-1.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError):
+            fault_from_json({"kind": "gremlin"})
+        with pytest.raises(FaultError):
+            fault_from_json({"src": 0, "dst": 1})
+
+
+class TestFaultSet:
+    def test_json_round_trip(self):
+        fs = FaultSet.of(LinkDown(0, 1), RankDown(2), LinkDegraded(1, 2, beta_factor=2.0))
+        assert FaultSet.from_json(fs.to_json()) == fs
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSet.of(LinkDown(0, 1), LinkDown(0, 1))
+
+    def test_merge_deduplicates(self):
+        merged = FaultSet.of(LinkDown(0, 1)).merge(
+            FaultSet.of(LinkDown(0, 1), RankDown(2))
+        )
+        assert len(merged) == 2
+
+    def test_fingerprint_is_order_insensitive(self):
+        a = FaultSet.of(LinkDown(0, 1), RankDown(2))
+        b = FaultSet.of(RankDown(2), LinkDown(0, 1))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_distinguishes_sets(self):
+        assert (
+            FaultSet.of(LinkDown(0, 1)).fingerprint()
+            != FaultSet.of(LinkDown(1, 0)).fingerprint()
+        )
+
+    def test_validate_rejects_unknown_link(self):
+        with pytest.raises(FaultError):
+            FaultSet.of(LinkDown(0, 2)).validate(ring(4))  # ring has no chord
+
+    def test_validate_rejects_out_of_range_rank(self):
+        with pytest.raises(FaultError):
+            FaultSet.of(RankDown(4)).validate(ring(4))
+
+    def test_dead_links(self):
+        topology = fully_connected(3)
+        dead = FaultSet.of(RankDown(0), LinkDown(1, 2)).dead_links(topology)
+        assert dead == {(0, 1), (0, 2), (1, 0), (2, 0), (1, 2)}
+
+
+class TestApply:
+    def test_empty_set_is_identity(self):
+        topology = ring(4)
+        assert FaultSet.of().apply(topology) is topology
+
+    def test_link_down_removes_link(self):
+        topology = ring(4)
+        degraded = FaultSet.of(LinkDown(0, 1)).apply(topology)
+        assert (0, 1) not in degraded.links()
+        assert degraded.links() == topology.links() - {(0, 1)}
+        assert degraded.num_nodes == topology.num_nodes
+
+    def test_rank_down_removes_all_touching_links(self):
+        topology = fully_connected(4)
+        degraded = FaultSet.of(RankDown(2)).apply(topology)
+        for src, dst in degraded.links():
+            assert src != 2 and dst != 2
+
+    def test_degraded_name_and_provenance(self):
+        topology = ring(4)
+        fs = FaultSet.of(LinkDown(0, 1))
+        degraded = fs.apply(topology)
+        assert degraded.name.startswith("ring4!deg-")
+        assert degraded.provenance["base_topology"] == "ring4"
+        assert degraded.provenance["fault_fingerprint"] == fs.fingerprint()
+        assert degraded.provenance["faults"] == fs.to_json()
+
+    def test_degraded_topology_serializes(self):
+        degraded = FaultSet.of(
+            LinkDown(0, 1), LinkDegraded(1, 2, alpha_factor=3.0, beta_factor=2.0)
+        ).apply(ring(4))
+        restored = Topology.from_dict(degraded.to_dict())
+        assert restored.links() == degraded.links()
+        assert restored.link_latency == degraded.link_latency
+        assert restored.link_beta_scale == degraded.link_beta_scale
+        assert restored.provenance == degraded.provenance
+
+    def test_bandwidth_cap_adds_constraint(self):
+        degraded = FaultSet.of(LinkDegraded(0, 1, bandwidth=1)).apply(dgx1())
+        caps = [c for c in degraded.constraints if c.name == "degraded:0->1"]
+        assert len(caps) == 1
+        assert caps[0].bandwidth == 1
+        assert caps[0].links == frozenset({(0, 1)})
+
+    def test_zero_bandwidth_kills_link(self):
+        degraded = FaultSet.of(LinkDegraded(0, 1, bandwidth=0)).apply(ring(4))
+        assert (0, 1) not in degraded.links()
+
+    def test_cost_inflation_lands_in_link_maps(self):
+        degraded = FaultSet.of(
+            LinkDegraded(0, 1, alpha_factor=2.0, beta_factor=4.0)
+        ).apply(ring(4))
+        assert (0, 1) in degraded.link_latency
+        assert degraded.link_beta_scale[(0, 1)] == pytest.approx(4.0)
+
+    def test_beta_inflation_slows_simulation(self):
+        from repro.baselines import ring_allgather, single_ring
+
+        topology = ring(4)
+        algorithm = ring_allgather(topology, single_ring(topology))
+        program = lower(algorithm)
+        healthy = Simulator(topology).simulate(program, 1 << 20).total_time_s
+        degraded_topology = FaultSet.of(
+            LinkDegraded(0, 1, beta_factor=8.0)
+        ).apply(topology)
+        degraded = Simulator(degraded_topology).simulate(program, 1 << 20).total_time_s
+        assert degraded > healthy

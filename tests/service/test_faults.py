@@ -1,0 +1,406 @@
+"""Degraded-mode planning: fault board, registry invalidation, replanning.
+
+Covers the fault-tolerance ladder end to end — FaultRequest validation,
+the board's salted coalescing keys, routing-table/cache invalidation on
+fault transitions, resolver replanning against the degraded fabric, the
+hardened broker (bounded waits, resolver crash accounting), and the
+DGX-1 acceptance scenario over real HTTP.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import AlgorithmCache
+from repro.faults import (
+    FaultError,
+    FaultInjectionError,
+    FaultSet,
+    LinkDegraded,
+    LinkDown,
+    execute_with_faults,
+)
+from repro.runtime import execute, lower
+from repro.service import (
+    Broker,
+    FaultBoard,
+    FaultRequest,
+    FaultResponse,
+    PlanRegistry,
+    PlanRequest,
+    PlanningService,
+    ServerThread,
+    ServiceError,
+    SynthesisResolver,
+    apply_fault_request,
+    make_server,
+    request_fault,
+    request_plan,
+    routing_key,
+)
+from repro.topology import dgx1, ring
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return PlanRegistry(
+        cache=AlgorithmCache(tmp_path / "algorithms"),
+        routes_dir=tmp_path / "routes",
+    )
+
+
+PINNED = PlanRequest("Allgather", "ring:4", chunks=1, steps=2, rounds=3)
+ROUTED = PlanRequest("Allgather", "ring:4", size_bytes=1 << 20, synchrony=1)
+
+LINK_DOWN_01 = LinkDown(0, 1).to_json()
+
+
+def used_links(algorithm):
+    return {(s.src, s.dst) for step in algorithm.steps for s in step.sends}
+
+
+class TestFaultRequestValidation:
+    def test_round_trip(self):
+        request = FaultRequest("ring:4", "register", (LINK_DOWN_01,))
+        assert FaultRequest.from_json(request.to_json()) == request
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ServiceError):
+            FaultRequest("ring:4", "explode").validate()
+
+    def test_register_requires_faults(self):
+        with pytest.raises(ServiceError):
+            FaultRequest("ring:4", "register").validate()
+
+    def test_status_takes_no_faults(self):
+        with pytest.raises(ServiceError):
+            FaultRequest("ring:4", "status", (LINK_DOWN_01,)).validate()
+
+    def test_malformed_fault_payload_rejected(self):
+        with pytest.raises(ServiceError):
+            FaultRequest("ring:4", "register", ({"kind": "gremlin"},)).validate()
+
+    def test_bad_topology_spec_rejected(self):
+        with pytest.raises(ServiceError):
+            FaultRequest("nope:banana", "status").validate()
+
+    def test_response_round_trip(self):
+        response = FaultResponse(
+            status="ok", topology="ring:4", action="register",
+            faults=[LINK_DOWN_01], fingerprint="abc",
+            degraded={"name": "ring4!deg-abc", "links_removed": 1},
+            invalidated={"tables": 1, "cache_entries": 2},
+        )
+        restored = FaultResponse.from_json(response.to_json())
+        assert restored == response
+        assert "invalidated 1 tables / 2 cache entries" in restored.summary()
+
+
+class TestFaultBoard:
+    def test_healthy_board_is_transparent(self):
+        board = FaultBoard()
+        topology = ring(4)
+        assert not board.get(topology)
+        assert board.apply(topology) is topology
+        assert board.salt(topology) == ""
+        # Healthy fabric: the broker key is byte-identical to the unsalted one.
+        assert board.salted_key(PINNED) == PINNED.request_key()
+
+    def test_register_merges_and_clear_drops(self):
+        board = FaultBoard()
+        topology = ring(4)
+        active = board.register(topology, FaultSet.of(LinkDown(0, 1)))
+        assert len(active) == 1
+        active = board.register(topology, FaultSet.of(LinkDown(1, 2)))
+        assert len(active) == 2
+        dropped = board.clear(topology)
+        assert len(dropped) == 2
+        assert not board.get(topology)
+
+    def test_bad_registration_leaves_board_untouched(self):
+        board = FaultBoard()
+        topology = ring(4)
+        board.register(topology, FaultSet.of(LinkDown(0, 1)))
+        with pytest.raises(FaultError):
+            board.register(topology, FaultSet.of(LinkDown(0, 2)))  # no chord in a ring
+        assert len(board.get(topology)) == 1
+
+    def test_salted_key_changes_with_fault_state(self):
+        board = FaultBoard()
+        topology = ring(4)
+        healthy_key = board.salted_key(PINNED)
+        board.register(topology, FaultSet.of(LinkDown(0, 1)))
+        faulted_key = board.salted_key(PINNED)
+        assert faulted_key != healthy_key
+        board.register(topology, FaultSet.of(LinkDown(1, 2)))
+        assert board.salted_key(PINNED) != faulted_key  # new fault, new epoch
+        board.clear(topology)
+        assert board.salted_key(PINNED) == healthy_key
+
+    def test_degraded_view_drops_the_dead_link(self):
+        board = FaultBoard()
+        topology = ring(4)
+        board.register(topology, FaultSet.of(LinkDown(0, 1)))
+        degraded = board.apply(topology)
+        assert (0, 1) not in degraded.links()
+        assert degraded.name.startswith("ring4!deg-")
+
+    def test_snapshot_lists_active_faults(self):
+        board = FaultBoard()
+        board.register(ring(4), FaultSet.of(LinkDown(0, 1)))
+        snapshot = board.snapshot()
+        assert snapshot["active_topologies"] == 1
+        (described,) = snapshot["faults"]["ring4"]
+        assert "0" in described and "1" in described
+
+
+class TestRegistryInvalidation:
+    def test_cost_change_addresses_a_fresh_routing_table(self, registry):
+        """The routing key covers alpha/beta: degrading a link re-keys the
+        table instead of silently reusing routes computed for old costs."""
+        topology = ring(4)
+        degraded = FaultSet.of(LinkDegraded(0, 1, beta_factor=4.0)).apply(topology)
+        assert degraded.links() == topology.links()  # same structure...
+        assert routing_key("Allgather", topology, synchrony=1) != routing_key(
+            "Allgather", degraded, synchrony=1
+        )
+
+    def test_invalidate_drops_tables_and_cache_entries(self, registry):
+        resolver = SynthesisResolver(registry)
+        assert resolver(PINNED, None).ok
+        assert resolver(ROUTED, None).ok
+        assert len(registry.tables()) == 1
+        dropped = registry.invalidate(ring(4))
+        assert dropped["tables"] == 1
+        assert dropped["cache_entries"] >= 1
+        assert len(registry.tables()) == 0
+        # The next resolution is a genuine re-solve, not a stale hit.
+        solves_before = resolver.stats()["solves"]
+        assert resolver(PINNED, None).source == "synthesized"
+        assert resolver.stats()["solves"] == solves_before + 1
+
+    def test_invalidate_spares_unrelated_topologies(self, registry):
+        resolver = SynthesisResolver(registry)
+        assert resolver(PINNED, None).ok
+        dropped = registry.invalidate(ring(6))
+        assert dropped == {"tables": 0, "cache_entries": 0}
+        assert resolver(PINNED, None).source == "cache"
+
+
+class TestApplyFaultRequest:
+    def test_register_reports_degradation_and_invalidation(self, registry):
+        resolver = SynthesisResolver(registry)
+        assert resolver(ROUTED, None).ok
+        board = FaultBoard()
+        response = apply_fault_request(
+            board,
+            FaultRequest("ring:4", "register", (LINK_DOWN_01,)),
+            registry=registry,
+        )
+        assert response.ok
+        assert response.degraded["links_removed"] == 1
+        assert response.invalidated["tables"] == 1
+        assert board.get(ring(4))
+
+    def test_status_reads_without_invalidating(self, registry):
+        resolver = SynthesisResolver(registry)
+        assert resolver(ROUTED, None).ok
+        board = FaultBoard()
+        board.register(ring(4), FaultSet.of(LinkDown(0, 1)))
+        response = apply_fault_request(
+            board, FaultRequest("ring:4", "status"), registry=registry
+        )
+        assert response.ok and len(response.faults) == 1
+        assert response.invalidated is None
+        assert len(registry.tables()) == 1
+
+    def test_clear_also_invalidates_the_degraded_artifacts(self, registry):
+        """Plans synthesized *while degraded* are stale once the fault is
+        repaired: clear must drop them along with the healthy ones."""
+        board = FaultBoard()
+        board.register(ring(4), FaultSet.of(LinkDown(0, 1)))
+        resolver = SynthesisResolver(registry, fault_board=board)
+        assert resolver(ROUTED, None).ok  # builds a table for the DEGRADED ring
+        assert len(registry.tables()) == 1
+        response = apply_fault_request(
+            board, FaultRequest("ring:4", "clear"), registry=registry
+        )
+        assert response.ok and not response.faults
+        assert response.invalidated["tables"] == 1
+        assert len(registry.tables()) == 0
+
+    def test_invalid_fault_is_an_error_response(self, registry):
+        board = FaultBoard()
+        response = apply_fault_request(
+            board,
+            FaultRequest("ring:4", "register", (LinkDown(0, 2).to_json(),)),
+            registry=registry,
+        )
+        assert response.status == "error"
+        assert "0" in response.error and not board.get(ring(4))
+
+
+class TestResolverReplanning:
+    def test_routed_replan_avoids_the_dead_link(self, registry):
+        board = FaultBoard()
+        resolver = SynthesisResolver(registry, fault_board=board)
+        healthy = resolver(ROUTED, None)
+        assert healthy.ok
+        board.register(ring(4), FaultSet.of(LinkDown(0, 1)))
+        registry.invalidate(ring(4))
+        replanned = resolver(ROUTED, None)
+        assert replanned.ok
+        plan = replanned.plan_object()
+        assert (0, 1) not in used_links(plan.algorithm)
+        assert resolver.stats()["replans"] >= 1
+
+    def test_pinned_replan_verifies_against_degraded_topology(self, registry):
+        board = FaultBoard()
+        resolver = SynthesisResolver(registry, fault_board=board)
+        board.register(ring(4), FaultSet.of(LinkDown(0, 1)))
+        response = resolver(
+            PlanRequest("Allgather", "ring:4", chunks=1, steps=3, rounds=4), None
+        )
+        assert response.ok
+        plan = response.plan_object()  # re-verifies on import
+        assert (0, 1) not in used_links(plan.algorithm)
+        assert "!deg-" in plan.algorithm.topology.name
+
+
+class TestBrokerHardening:
+    def test_deadline_less_wait_is_bounded_by_the_server(self):
+        broker = Broker(max_wait_s=0.2)
+        ticket = broker.submit(PINNED)  # nobody will ever resolve this job
+        response = ticket.wait()  # no timeout, no request deadline
+        assert response.status == "timeout"
+        assert broker.stats()["expired"] == 1
+        broker.close()
+
+    def test_resolver_crash_is_counted_and_surfaced(self, registry):
+        calls = {"n": 0}
+        inner = SynthesisResolver(registry)
+
+        def flaky(request, remaining_s):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("resolver bug")
+            return inner(request, remaining_s)
+
+        with PlanningService(registry, num_workers=1, resolver=flaky) as service:
+            crashed = service.request(PINNED, timeout=60.0)
+            assert crashed.status == "error"
+            assert "resolver failed" in crashed.error
+            assert crashed.error_kind == "RuntimeError"
+            # The pool survives the crash and keeps serving.
+            recovered = service.request(PINNED, timeout=60.0)
+            assert recovered.ok
+            assert service.stats()["broker"]["resolver_crashes"] == 1
+
+
+class TestConcurrentFaultAndPlan:
+    def test_plans_racing_a_fault_registration_stay_consistent(self, registry):
+        """Satellite race test: plan requests issued concurrently with a
+        fault registration must each be internally consistent — whichever
+        epoch they land in, the plan they carry re-verifies, and any plan
+        issued under the degraded epoch avoids the dead link."""
+        board = FaultBoard()
+        resolver = SynthesisResolver(registry, fault_board=board)
+        with PlanningService(
+            registry, num_workers=4, resolver=resolver, fault_board=board
+        ) as service:
+            barrier = threading.Barrier(5)
+            responses = [None] * 4
+            fault_response = [None]
+
+            def plan(index):
+                barrier.wait()
+                responses[index] = service.request(ROUTED, timeout=120.0)
+
+            def fault():
+                barrier.wait()
+                fault_response[0] = service.fault(
+                    FaultRequest("ring:4", "register", (LINK_DOWN_01,))
+                )
+
+            threads = [threading.Thread(target=plan, args=(i,)) for i in range(4)]
+            threads.append(threading.Thread(target=fault))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(120.0)
+
+            assert fault_response[0].ok
+            for response in responses:
+                assert response is not None and response.ok
+                plan_obj = response.plan_object()  # re-verifies
+                if "!deg-" in plan_obj.algorithm.topology.name:
+                    assert (0, 1) not in used_links(plan_obj.algorithm)
+
+            # After the dust settles the degraded epoch is authoritative.
+            final = service.request(ROUTED, timeout=120.0)
+            assert final.ok
+            assert (0, 1) not in used_links(final.plan_object().algorithm)
+
+
+class TestDGX1DegradedModeEndToEnd:
+    """The acceptance scenario over real HTTP: LinkDown on a DGX-1
+    service invalidates the stale plan, the next /v1/plan is verified
+    against the degraded topology, and the fault-injecting executor
+    proves the old plan fails where the new one runs clean."""
+
+    REQUEST = PlanRequest(
+        "Allgather", "dgx1", chunks=1, steps=2, rounds=2, deadline_s=120
+    )
+
+    def test_link_down_replan_old_fails_new_runs(self, registry):
+        with PlanningService(registry, num_workers=2) as service:
+            with ServerThread(make_server(service, port=0)) as thread:
+                url = thread.url
+
+                cold = request_plan(url, self.REQUEST)
+                assert cold.ok and cold.source == "synthesized"
+                old_plan = cold.plan_object()
+                dead = sorted(used_links(old_plan.algorithm))[0]
+
+                fault = request_fault(
+                    url,
+                    FaultRequest("dgx1", "register", (LinkDown(*dead).to_json(),)),
+                )
+                assert fault.ok
+                assert fault.degraded["links_removed"] == 1
+                assert fault.invalidated["cache_entries"] >= 1
+
+                replanned = request_plan(url, self.REQUEST)
+                assert replanned.ok and replanned.source == "synthesized"
+                new_plan = replanned.plan_object()  # verified against degraded fabric
+                assert "!deg-" in new_plan.algorithm.topology.name
+                assert dead not in used_links(new_plan.algorithm)
+
+                # The executor is the ground truth: the pre-fault plan dies
+                # on the dead link, the replanned one completes.
+                faults = FaultSet.of(LinkDown(*dead))
+                healthy_topology = dgx1()
+                with pytest.raises(FaultInjectionError) as excinfo:
+                    execute_with_faults(
+                        lower(old_plan.algorithm), old_plan.algorithm,
+                        faults, healthy_topology,
+                    )
+                assert (excinfo.value.first.src, excinfo.value.first.dst) == dead
+                result = execute_with_faults(
+                    lower(new_plan.algorithm), new_plan.algorithm,
+                    faults, healthy_topology,
+                )
+                assert result.transfers == execute(
+                    lower(new_plan.algorithm), new_plan.algorithm
+                ).transfers
+
+                # Status sees the fault; clear repairs the fabric and drops
+                # the degraded artifacts so healthy plans come back fresh.
+                status = request_fault(url, FaultRequest("dgx1", "status"))
+                assert status.ok and len(status.faults) == 1
+                cleared = request_fault(url, FaultRequest("dgx1", "clear"))
+                assert cleared.ok and not cleared.faults
+                assert cleared.invalidated["cache_entries"] >= 1
+                healthy_again = request_plan(url, self.REQUEST)
+                assert healthy_again.ok
+                assert "!deg-" not in healthy_again.plan_object().algorithm.topology.name
