@@ -45,6 +45,26 @@ def write_bench_json(filename: str, payload: dict) -> Path:
     return path
 
 
+def merge_bench_json(filename: str, key: str, payload: dict) -> Path:
+    """Merge one section into a shared JSON artifact under ``key``.
+
+    Several benchmarks contribute sections to the same file (e.g. the
+    strategy and bounds ablations both land in ``BENCH_sweep.json``);
+    merging keeps whichever sections the other tests already wrote this
+    run.  A missing or corrupt file simply starts fresh.
+    """
+    path = bench_dir() / filename
+    try:
+        existing = json.loads(path.read_text())
+        if not isinstance(existing, dict):
+            existing = {}
+    except (OSError, ValueError):
+        existing = {}
+    existing[key] = payload
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def phase_totals(results: Iterable) -> Dict[str, float]:
     """Aggregate per-phase timings from SynthesisResults.
 

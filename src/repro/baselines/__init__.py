@@ -14,6 +14,7 @@ from .nccl import (
     rccl_baseline,
 )
 from .pipelined import pipelined_broadcast, pipelined_reduce
+from .suite import BaselineAlgorithm, baseline_suite
 from .ring import (
     RingError,
     ring_allgather,
@@ -24,8 +25,10 @@ from .ring import (
 from .tree import TreeError, bfs_tree, tree_broadcast, tree_reduce
 
 __all__ = [
+    "BaselineAlgorithm",
     "BaselineEntry",
     "RingError",
+    "baseline_suite",
     "TreeError",
     "bfs_tree",
     "nccl_allgather",

@@ -19,7 +19,7 @@ exactly like SCCL's synthesized algorithms.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core.algorithm import Algorithm
 from ..topology import Topology, amd_z52, amd_z52_ring_order, dgx1, dgx1_logical_rings
@@ -36,6 +36,10 @@ class BaselineEntry:
     steps: int
     rounds: int
     note: str = ""
+
+    def cost(self) -> Tuple[int, int, int]:
+        """The uniform ``(steps, rounds, chunks)`` lattice-cost accessor."""
+        return (self.steps, self.rounds, self.chunks)
 
 
 def nccl_allgather(topology: Optional[Topology] = None) -> Algorithm:

@@ -197,13 +197,15 @@ def _cmd_pareto(args) -> int:
             backend=args.backend,
             portfolio=portfolio,
             cache=cache,
+            bounds="off" if args.no_bounds else "baseline",
         )
     except Exception as exc:
         raise CliError(str(exc)) from exc
 
     title = (
         f"{frontier.collective} on {frontier.topology_name} "
-        f"(k={frontier.k}, strategy={frontier.strategy}, backend={frontier.backend})"
+        f"(k={frontier.k}, strategy={frontier.strategy}, "
+        f"backend={frontier.backend}, bounds={frontier.bounds})"
     )
     rows = frontier.table_rows()
     if rows:
@@ -758,8 +760,16 @@ def build_parser() -> argparse.ArgumentParser:
     pareto.add_argument("--max-steps", type=int, default=None)
     pareto.add_argument("--max-chunks", type=int, default=None)
     pareto.add_argument(
-        "--strategy", choices=("serial", "incremental", "parallel", "speculative"),
-        default="incremental", help="candidate-sweep strategy (default incremental)",
+        "--strategy",
+        choices=("serial", "incremental", "parallel", "speculative", "auto"),
+        default="incremental",
+        help="candidate-sweep strategy (default incremental; auto picks from "
+        "the host's core count and the instance size)",
+    )
+    pareto.add_argument(
+        "--no-bounds", action="store_true",
+        help="disable baseline bound-seeding (probe every candidate instead "
+        "of pruning those dominated by a verified baseline or an earlier SAT)",
     )
     pareto.add_argument("--max-workers", type=int, default=None,
                         help="worker processes for --strategy parallel/speculative")

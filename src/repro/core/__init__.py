@@ -60,6 +60,7 @@ from .pareto import (
     ParetoPoint,
     candidate_set,
     pareto_synthesize,
+    resolve_strategy,
 )
 from .synthesizer import (
     SynthesisError,
@@ -103,6 +104,7 @@ __all__ = [
     "make_instance",
     "pareto_frontier",
     "pareto_synthesize",
+    "resolve_strategy",
     "speedup",
     "synthesize",
     "synthesize_allreduce",

@@ -17,10 +17,11 @@ Broadcast.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..collectives import get_collective
 from ..solver import SolveResult
@@ -113,6 +114,10 @@ class ParetoFrontier:
     strategy: str = "serial"
     backend: str = "cdcl"
     engine_stats: Dict[str, int] = field(default_factory=dict)
+    #: Bound-seeding mode the run used: "baseline", "custom" or "off".
+    bounds: str = "off"
+    #: Provenance of the seeded upper bounds (e.g. "baseline:ring").
+    bound_sources: List[str] = field(default_factory=list)
 
     def algorithms(self) -> List[Algorithm]:
         return [p.algorithm for p in self.points if p.algorithm is not None]
@@ -165,6 +170,8 @@ class ParetoFrontier:
             data["strategy"] = self.strategy
             data["backend"] = self.backend
             data["engine_stats"] = dict(self.engine_stats)
+            data["bounds"] = self.bounds
+            data["bound_sources"] = list(self.bound_sources)
         return data
 
 
@@ -192,6 +199,38 @@ def candidate_set(
     return candidates
 
 
+def resolve_strategy(
+    topology: Topology,
+    *,
+    k: int = 0,
+    max_chunks: Optional[int] = None,
+    max_workers: Optional[int] = None,
+    cpu_count: Optional[int] = None,
+) -> str:
+    """Pick a concrete sweep strategy for ``strategy="auto"``.
+
+    Single-core hosts (or an explicit one-worker budget) get the serial
+    loop: the pool strategies only add process overhead there, and the
+    shared-prefix family's exact-formula UNKNOWN retries can make the
+    incremental path pay for probes twice.  On multi-core hosts, large
+    instances — many nodes, deep chunk subdivision or a loose synchrony
+    budget, all of which multiply the candidate count and formula size —
+    are worth the speculative cross-``S`` pipeline; small ones stay on the
+    incremental dispatcher, whose shared encodings dominate when individual
+    solves are cheap.  ``cpu_count`` overrides :func:`os.cpu_count` so the
+    policy itself is unit-testable.
+    """
+    cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    if cores < 2 or (max_workers is not None and max_workers < 2):
+        return "serial"
+    large = (
+        topology.num_nodes >= 6
+        or (max_chunks is not None and max_chunks >= 4)
+        or k >= 2
+    )
+    return "speculative" if large else "incremental"
+
+
 def pareto_synthesize(
     collective: str,
     topology: Topology,
@@ -209,6 +248,7 @@ def pareto_synthesize(
     backend: Optional[str] = None,
     portfolio: Optional[Sequence[str]] = None,
     cache=None,
+    bounds: Union[str, None, "object"] = "baseline",
 ) -> ParetoFrontier:
     """Run Algorithm 1 for a collective on a topology.
 
@@ -231,10 +271,12 @@ def pareto_synthesize(
         shared-prefix encoding per step count probed via per-candidate
         assumption frames), ``"serial"`` (cold encode+solve per candidate,
         the paper's loop), ``"parallel"`` (process-pool fan-out within one
-        step count, serial-replay semantics) or ``"speculative"``
+        step count, serial-replay semantics), ``"speculative"``
         (cross-step pipeline: candidates for S+1 start while S is still in
         flight, committed in cost order so the frontier stays byte-identical
-        to the serial loop).
+        to the serial loop) or ``"auto"`` (pick one of the above from the
+        host's core count and the instance size — see
+        :func:`resolve_strategy`; the frontier records the resolved name).
     max_workers:
         Worker-process count for the parallel/speculative strategies.
     backend:
@@ -245,8 +287,18 @@ def pareto_synthesize(
     cache:
         An :class:`~repro.engine.cache.AlgorithmCache`; hits replay persisted
         SAT/UNSAT probes without touching the solver.
+    bounds:
+        Bound-seeded pruning (on by default).  ``"baseline"`` seeds a
+        :class:`~repro.engine.bounds.BoundsLedger` from the verified
+        baseline suite so dominated candidates are skipped and monotone
+        UNSAT cuts propagate across the sweep; ``"off"`` (or ``None``)
+        disables seeding; a :class:`~repro.engine.bounds.BoundsLedger`
+        instance is used as-is (it must match the collective, topology and
+        root).  The Pareto-optimal frontier points are identical with
+        bounds on or off — pruning only removes dominated probes.
     """
     from ..engine.backends import get_backend
+    from ..engine.bounds import BoundsLedger, seed_ledger
     from ..engine.dispatch import SweepRequest, SweepStats, make_dispatcher
 
     if k < 0:
@@ -271,7 +323,35 @@ def pareto_synthesize(
             backend=backend,
             portfolio=portfolio,
             cache=cache,
+            bounds=bounds,
         )
+
+    if strategy == "auto":
+        strategy = resolve_strategy(
+            topology, k=k, max_chunks=max_chunks, max_workers=max_workers
+        )
+
+    if bounds is None or bounds == "off":
+        ledger = None
+        bounds_mode = "off"
+    elif isinstance(bounds, BoundsLedger):
+        ledger = bounds
+        if (
+            ledger.collective != spec.name
+            or ledger.topology is not topology
+            or ledger.root != root
+        ):
+            raise ParetoError(
+                "a custom BoundsLedger must match the synthesized collective, "
+                "topology and root (combining collectives delegate to their "
+                "non-combining base and cannot reuse the caller's ledger)"
+            )
+        bounds_mode = "custom"
+    elif bounds == "baseline":
+        ledger = seed_ledger(spec.name, topology, root=root)
+        bounds_mode = "baseline"
+    else:
+        raise ParetoError(f"unknown bounds mode {bounds!r}")
 
     start_time = time.monotonic()
     dispatcher = make_dispatcher(strategy, max_workers=max_workers, portfolio=portfolio)
@@ -287,6 +367,8 @@ def pareto_synthesize(
         bandwidth_lower_bound=b_l,
         strategy=strategy,
         backend=get_backend(backend).name,
+        bounds=bounds_mode,
+        bound_sources=ledger.sources() if ledger is not None else [],
     )
 
     def build_request(steps: int) -> SweepRequest:
@@ -300,6 +382,7 @@ def pareto_synthesize(
             backend=backend,
             time_limit=time_limit_per_instance,
             conflict_limit=conflict_limit,
+            bounds=ledger,
         )
 
     def ingest_sweep(steps: int, outcome) -> bool:
@@ -416,6 +499,7 @@ def _pareto_synthesize_combining(
     backend: Optional[str] = None,
     portfolio: Optional[Sequence[str]] = None,
     cache=None,
+    bounds: Union[str, None, "object"] = "baseline",
 ) -> ParetoFrontier:
     """Reduce Reducescatter / Reduce / Allreduce synthesis to the non-combining base."""
     base_collective = {"Reducescatter": "Allgather", "Reduce": "Broadcast", "Allreduce": "Allgather"}[
@@ -438,6 +522,7 @@ def _pareto_synthesize_combining(
         backend=backend,
         portfolio=portfolio,
         cache=cache,
+        bounds=bounds,
     )
     frontier = ParetoFrontier(
         collective=collective,
@@ -456,6 +541,8 @@ def _pareto_synthesize_combining(
         strategy=base.strategy,
         backend=base.backend,
         engine_stats=dict(base.engine_stats),
+        bounds=base.bounds,
+        bound_sources=list(base.bound_sources),
     )
     for base_point in base.points:
         algorithm = base_point.algorithm

@@ -46,6 +46,10 @@ class SynthesisResult:
     encoding: str = "sccl"
     backend: str = "cdcl"
     cache_hit: bool = False
+    #: How this verdict was obtained: ``"solved"`` (a solver ran) or
+    #: ``"cut"`` (synthesized from a monotone UNSAT bound, no solver call).
+    #: Cache replays keep the provenance of the entry they replay.
+    provenance: str = "solved"
 
     @property
     def is_sat(self) -> bool:

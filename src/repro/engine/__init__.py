@@ -31,6 +31,17 @@ from .backends import (
     register_dimacs_backends,
     unregister_backend,
 )
+from .bounds import (
+    CUT,
+    PROBE,
+    PRUNE,
+    BoundsError,
+    BoundsLedger,
+    FeasiblePoint,
+    ProbePlan,
+    cut_result,
+    seed_ledger,
+)
 from .cache import (
     CACHE_DIR_ENV,
     AlgorithmCache,
@@ -62,9 +73,16 @@ __all__ = [
     "AlgorithmCache",
     "BackendError",
     "BackendQuarantine",
+    "BoundsError",
+    "BoundsLedger",
     "CACHE_DIR_ENV",
+    "CUT",
     "CacheEntry",
     "CacheError",
+    "FeasiblePoint",
+    "PROBE",
+    "PRUNE",
+    "ProbePlan",
     "CdclBackend",
     "CdclHandle",
     "DEFAULT_BACKEND",
@@ -88,6 +106,8 @@ __all__ = [
     "SweepStats",
     "available_backends",
     "classify_dimacs_exit",
+    "cut_result",
+    "seed_ledger",
     "default_cache",
     "default_cache_dir",
     "fingerprint",

@@ -140,6 +140,10 @@ class CacheEntry:
     solve_time: float = 0.0
     created_at: float = 0.0
     instance: Optional[dict] = None   # descriptive metadata (not part of the key)
+    #: How the verdict was obtained: ``"solved"`` (a solver proved it) or
+    #: ``"cut"`` (derived from a monotone UNSAT bound without a solver
+    #: call).  Entries written before this field existed report "solved".
+    provenance: str = "solved"
 
     def to_json(self) -> dict:
         return {
@@ -151,6 +155,7 @@ class CacheEntry:
             "solve_time": self.solve_time,
             "created_at": self.created_at,
             "instance": self.instance,
+            "provenance": self.provenance,
         }
 
     @classmethod
@@ -167,6 +172,7 @@ class CacheEntry:
             solve_time=float(data.get("solve_time", 0.0)),
             created_at=float(data.get("created_at", 0.0)),
             instance=data.get("instance"),
+            provenance=str(data.get("provenance", "solved")),
         )
 
     def describe_instance(self) -> str:
@@ -513,6 +519,7 @@ def lookup_result(
         encoding=encoding,
         backend=entry.backend,
         cache_hit=True,
+        provenance=entry.provenance,
     )
 
 
@@ -544,6 +551,7 @@ def store_result(
         backend=result.backend,
         solve_time=result.solve_time,
         created_at=time.time(),
+        provenance=getattr(result, "provenance", "solved"),
         instance={
             "collective": instance.collective,
             "topology": instance.topology.name,

@@ -44,6 +44,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from ..core.instance import make_instance
 from ..topology import Topology
 from .backends import QUARANTINE, BackendQuarantine, get_backend
+from .bounds import CUT, PROBE, PRUNE, BoundsLedger, ProbePlan, cut_result
 from .cache import AlgorithmCache, lookup_result, store_result
 from .session import SessionFamily
 
@@ -74,6 +75,13 @@ class SweepRequest:
     #: formulas (serial/parallel/speculative) are unaffected, so frontiers
     #: agree across strategies under resource limits.
     unknown_retry: bool = True
+    #: Bound-seeded pruning: a shared :class:`~repro.engine.bounds.BoundsLedger`
+    #: consulted before any solver work.  Candidates it classifies as
+    #: dominance-pruned are skipped outright, candidates inside a recorded
+    #: UNSAT's monotone shadow are answered with a synthetic cut result, and
+    #: every committed verdict is fed back via ``observe`` so later sweeps
+    #: prune harder.  ``None`` disables seeding (the pre-bounds behaviour).
+    bounds: Optional[BoundsLedger] = None
 
 
 @dataclass
@@ -85,6 +93,10 @@ class SweepStats:
     cache_hits: int = 0
     candidates_probed: int = 0
     unknown_retries: int = 0
+    #: Candidates skipped outright by dominance pruning (no result emitted).
+    probes_pruned: int = 0
+    #: Candidates answered by a synthetic monotone-cut UNSAT (no solver call).
+    probes_cut: int = 0
 
     def merge(self, other: "SweepStats") -> None:
         self.encode_calls += other.encode_calls
@@ -92,6 +104,8 @@ class SweepStats:
         self.cache_hits += other.cache_hits
         self.candidates_probed += other.candidates_probed
         self.unknown_retries += other.unknown_retries
+        self.probes_pruned += other.probes_pruned
+        self.probes_cut += other.probes_cut
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -100,6 +114,8 @@ class SweepStats:
             "cache_hits": self.cache_hits,
             "candidates_probed": self.candidates_probed,
             "unknown_retries": self.unknown_retries,
+            "probes_pruned": self.probes_pruned,
+            "probes_cut": self.probes_cut,
         }
 
 
@@ -140,6 +156,33 @@ def _cached_result(request: SweepRequest, rounds: int, chunks: int, cache):
     )
 
 
+def _plan_probes(request: SweepRequest) -> Optional[ProbePlan]:
+    """The bounds ledger's verdict on this sweep's candidates (None unseeded).
+
+    Planned *before* any cache lookup, so warm replays make the same
+    probe/cut/prune decisions as the cold run that filled the cache.
+    """
+    if request.bounds is None:
+        return None
+    return request.bounds.plan(request.steps, request.candidates)
+
+
+def _plan_action(plan: Optional[ProbePlan], index: int) -> str:
+    return PROBE if plan is None else plan.actions[index]
+
+
+def _cut_for(request: SweepRequest, plan: ProbePlan, index: int, cache):
+    """Materialize the synthetic UNSAT for a cut candidate (and persist it)."""
+    rounds, chunks = request.candidates[index]
+    result = cut_result(
+        request.collective, request.topology, request.steps, rounds, chunks,
+        root=request.root, witness=plan.witnesses.get(index),
+    )
+    if cache is not None:
+        store_result(cache, result, encoding=request.encoding, prune=request.prune)
+    return result
+
+
 class SerialDispatcher:
     """Cold encode+solve per candidate — the seed behaviour, cache-aware."""
 
@@ -149,7 +192,16 @@ class SerialDispatcher:
         from ..core.synthesizer import synthesize
 
         outcome = SweepOutcome()
-        for rounds, chunks in request.candidates:
+        plan = _plan_probes(request)
+        for index, (rounds, chunks) in enumerate(request.candidates):
+            action = _plan_action(plan, index)
+            if action == PRUNE:
+                outcome.stats.probes_pruned += 1
+                continue
+            if action == CUT:
+                outcome.stats.probes_cut += 1
+                outcome.results.append(_cut_for(request, plan, index, cache))
+                continue
             instance = make_instance(
                 request.collective, request.topology, chunks,
                 request.steps, rounds, root=request.root,
@@ -164,6 +216,8 @@ class SerialDispatcher:
                 cache=cache,
             )
             _account(outcome.stats, result)
+            if request.bounds is not None:
+                request.bounds.observe(result)
             outcome.results.append(result)
             if result.is_sat and request.stop_at_first_sat:
                 break
@@ -209,9 +263,30 @@ class IncrementalDispatcher:
 
         outcome = SweepOutcome()
         family = self._family(request)
-        max_chunks = max((c for _, c in request.candidates), default=1)
-        max_rounds = max((r for r, _ in request.candidates), default=request.steps)
-        for rounds, chunks in request.candidates:
+        plan = _plan_probes(request)
+        # Size-adaptive family budget: the chunk selector starts at the first
+        # probed candidate's C and grows on demand (SessionFamily extends the
+        # chunk layer in place), so a sweep whose large-C candidates were all
+        # pruned never pays for their selector variables.  Rounds overflow
+        # forces a rebuild, so the rounds budget is still sized up front —
+        # but only over the candidates that will actually be probed.
+        max_rounds = max(
+            (
+                r
+                for index, (r, _) in enumerate(request.candidates)
+                if _plan_action(plan, index) == PROBE
+            ),
+            default=request.steps,
+        )
+        for index, (rounds, chunks) in enumerate(request.candidates):
+            action = _plan_action(plan, index)
+            if action == PRUNE:
+                outcome.stats.probes_pruned += 1
+                continue
+            if action == CUT:
+                outcome.stats.probes_cut += 1
+                outcome.results.append(_cut_for(request, plan, index, cache))
+                continue
             cached = _cached_result(request, rounds, chunks, cache)
             if cached is not None:
                 result = cached
@@ -223,7 +298,6 @@ class IncrementalDispatcher:
                     request.steps,
                     chunks,
                     rounds,
-                    max_chunks=max_chunks,
                     max_rounds=max_rounds,
                     time_limit=request.time_limit,
                     conflict_limit=request.conflict_limit,
@@ -237,6 +311,8 @@ class IncrementalDispatcher:
                     store_result(
                         cache, result, encoding=request.encoding, prune=request.prune
                     )
+            if request.bounds is not None:
+                request.bounds.observe(result)
             outcome.results.append(result)
             if result.is_sat and request.stop_at_first_sat:
                 break
@@ -363,10 +439,18 @@ class ParallelDispatcher:
             return SerialDispatcher().sweep(request, cache)
 
         outcome = SweepOutcome()
-        # Fast path: resolve cache hits in-process before spawning workers.
+        plan = _plan_probes(request)
+        # Fast path: resolve cuts and cache hits in-process before spawning
+        # workers; pruned candidates never reach the pool (or the cache).
         results: List = [None] * len(candidates)
         pending: List[int] = []
         for index, (rounds, chunks) in enumerate(candidates):
+            action = _plan_action(plan, index)
+            if action == PRUNE:
+                continue  # accounted during the ordered replay below
+            if action == CUT:
+                results[index] = _cut_for(request, plan, index, cache)
+                continue
             cached = _cached_result(request, rounds, chunks, cache)
             if cached is not None:
                 results[index] = cached
@@ -416,10 +500,20 @@ class ParallelDispatcher:
 
         # Replay the serial decision rule over the ordered results so the
         # observable outcome is identical to SerialDispatcher's.
-        for result in results:
+        for index, result in enumerate(results):
+            action = _plan_action(plan, index)
+            if action == PRUNE:
+                outcome.stats.probes_pruned += 1
+                continue
             if result is None:
                 break  # probes past the first SAT that were cancelled
+            if action == CUT:
+                outcome.stats.probes_cut += 1
+                outcome.results.append(result)
+                continue
             _account(outcome.stats, result)
+            if request.bounds is not None:
+                request.bounds.observe(result)
             outcome.results.append(result)
             if result.is_sat and request.stop_at_first_sat:
                 break
@@ -541,9 +635,10 @@ class SpeculativeDispatcher:
 
         total_tasks = sum(len(state.inflight) for state in states)
         if total_tasks == 0:
-            # Every candidate came from the cache; commit without a pool.
+            # Every candidate was cut, pruned or cached; commit poollessly.
             for index, state in enumerate(states):
                 outcomes[index] = self._try_commit(state)
+                self._persist_cuts(outcomes[index], requests[index], cache)
                 if stop is not None and stop(outcomes[index]):
                     break
             return outcomes
@@ -583,6 +678,16 @@ class SpeculativeDispatcher:
 
             def submit_request(index: int) -> None:
                 state = states[index]
+                if state.request.bounds is not None:
+                    # Re-plan with everything committed so far: candidates
+                    # that became dominance-pruned since prepare time are
+                    # dropped before they ever reach the pool.  Pruning is
+                    # monotone (the frontier cap only tightens), so a
+                    # trimmed candidate stays pruned at commit time.
+                    replanned = _plan_probes(state.request)
+                    for cand in list(state.inflight):
+                        if replanned.actions[cand] != PROBE:
+                            state.inflight.discard(cand)
                 store = self.portfolio is None
                 racers = active_backends()
                 for cand in sorted(state.inflight):
@@ -614,14 +719,16 @@ class SpeculativeDispatcher:
                 if outcome is not None:
                     if cache is not None and self.portfolio is not None:
                         # Only committed winners are persisted under a
-                        # portfolio, so warm replays match this run.
+                        # portfolio, so warm replays match this run.  Cut
+                        # results are handled below for both configurations.
                         for result in outcome.results:
-                            if not result.cache_hit:
+                            if not result.cache_hit and result.provenance != "cut":
                                 store_result(
                                     cache, result,
                                     encoding=requests[0].encoding,
                                     prune=requests[0].prune,
                                 )
+                    self._persist_cuts(outcome, requests[0], cache)
                     outcomes[decided] = outcome
                     decided += 1
                     if stop is not None and stop(outcome):
@@ -669,13 +776,26 @@ class SpeculativeDispatcher:
 
     # ------------------------------------------------------------------
     @staticmethod
+    def _persist_cuts(
+        outcome: Optional[SweepOutcome], request: SweepRequest, cache
+    ) -> None:
+        """Persist commit-time cut results so warm replays see provenance."""
+        if cache is None or outcome is None:
+            return
+        for result in outcome.results:
+            if result.provenance == "cut" and not result.cache_hit:
+                store_result(
+                    cache, result, encoding=request.encoding, prune=request.prune
+                )
+
+    @staticmethod
     def _check_uniform(requests: Sequence[SweepRequest]) -> None:
         def context(request: SweepRequest) -> tuple:
             return (
                 request.collective, id(request.topology), request.root,
                 request.encoding, request.prune, request.backend,
                 request.time_limit, request.conflict_limit,
-                request.stop_at_first_sat,
+                request.stop_at_first_sat, id(request.bounds),
             )
 
         first = context(requests[0])
@@ -692,8 +812,13 @@ class SpeculativeDispatcher:
         state = _SweepState(
             request=request, candidates=candidates, results=[None] * len(candidates)
         )
+        plan = _plan_probes(request)
         pending: List[int] = []
         for index, (rounds, chunks) in enumerate(candidates):
+            if _plan_action(plan, index) != PROBE:
+                # Cut or pruned by the ledger: resolved at commit time with
+                # no solver work and no cache traffic.
+                continue
             cached = _cached_result(request, rounds, chunks, cache)
             if cached is not None:
                 state.results[index] = cached
@@ -745,9 +870,27 @@ class SpeculativeDispatcher:
 
     @staticmethod
     def _try_commit(state: _SweepState) -> Optional[SweepOutcome]:
-        """Replay the serial decision rule once the ordered prefix is known."""
+        """Replay the serial decision rule once the ordered prefix is known.
+
+        With a bounds ledger the plan is recomputed *at commit time*:
+        commits happen strictly in step-count order and verdicts are fed to
+        the ledger only on successful commits, so the ledger state here is
+        exactly what a serial run would have seen when it planned this
+        sweep — speculative over-submission never changes the outcome.
+        """
+        request = state.request
+        plan = _plan_probes(request)
         outcome = SweepOutcome()
+        observed: List = []
         for index in range(len(state.candidates)):
+            action = _plan_action(plan, index)
+            if action == PRUNE:
+                outcome.stats.probes_pruned += 1
+                continue
+            if action == CUT:
+                outcome.stats.probes_cut += 1
+                outcome.results.append(_cut_for(request, plan, index, None))
+                continue
             result = state.results[index]
             if result is None:
                 if index in state.inflight:
@@ -755,8 +898,12 @@ class SpeculativeDispatcher:
                 break  # cancelled loser past the first SAT
             _account(outcome.stats, result)
             outcome.results.append(result)
+            observed.append(result)
             if result.is_sat and state.request.stop_at_first_sat:
                 break
+        if request.bounds is not None:
+            for result in observed:
+                request.bounds.observe(result)
         return outcome
 
 

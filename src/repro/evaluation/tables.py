@@ -81,6 +81,7 @@ class SynthesisTableConfig:
     max_workers: Optional[int] = None    # worker processes (parallel/speculative)
     backend: Optional[str] = None        # solver backend name
     portfolio: Optional[Sequence[str]] = None  # backends raced per candidate (speculative)
+    bounds: str = "baseline"             # bound-seeded pruning ("baseline" or "off")
     cache_dir: Optional[str] = None      # algorithm-cache directory (None disables)
     export_dir: Optional[str] = None     # write each point's algorithm here (None disables)
     export_format: str = "xml"           # "xml", "plan" or "both"
@@ -190,6 +191,7 @@ def synthesis_table(
             backend=config.backend,
             portfolio=config.portfolio,
             cache=cache,
+            bounds=config.bounds,
         )
         if config.export_dir is not None:
             export_frontier_algorithms(

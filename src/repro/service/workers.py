@@ -8,10 +8,11 @@ them through :class:`SynthesisResolver`, whose fallback ladder is fixed:
    persisted routing table; a hit is answered without any solver work.
 2. **synthesis** — pinned requests run one engine solve
    (:func:`repro.core.synthesizer.synthesize`); routed requests run a
-   Pareto sweep through the engine's *speculative* dispatcher (cold
-   frontier builds fan candidates across a process pool and start the
-   next step count while the current one is in flight; see
-   ``sweep_strategy`` to pick a different dispatcher), then score the
+   Pareto sweep through the engine's *auto*-selected dispatcher (cold
+   frontier builds pick serial, incremental or speculative from the host's
+   core count and the instance size, seeded with baseline upper bounds so
+   dominated candidates are pruned before any solver work; see
+   ``sweep_strategy`` to pin a specific dispatcher), then score the
    frontier with the alpha-beta simulator into a fresh routing table.
    The most patient waiter's remaining deadline is forwarded to the
    engine as the solve time limit.
@@ -129,16 +130,19 @@ class SynthesisResolver:
         registry: PlanRegistry,
         *,
         max_steps_margin: int = 4,
-        sweep_strategy: str = "speculative",
+        sweep_strategy: str = "auto",
         sweep_workers: Optional[int] = None,
         fault_board: Optional[FaultBoard] = None,
     ) -> None:
-        # sweep_strategy="speculative" forks a process pool from a worker
-        # thread for cold routed builds.  That is safe here because pool
-        # children never touch the parent's broker/registry locks (they
-        # re-import repro and solve standalone instances), but deployments
-        # that embed the resolver next to fork-hostile libraries can inject
-        # sweep_strategy="incremental" to stay in-process.
+        # sweep_strategy="auto" lets the engine pick per build: serial on
+        # single-core hosts, speculative for large instances, incremental
+        # otherwise.  The pool strategies fork worker processes from a
+        # worker thread for cold routed builds.  That is safe here because
+        # pool children never touch the parent's broker/registry locks
+        # (they re-import repro and solve standalone instances), but
+        # deployments that embed the resolver next to fork-hostile
+        # libraries can inject sweep_strategy="incremental" to stay
+        # in-process.
         self.registry = registry
         self.max_steps_margin = max_steps_margin
         self.sweep_strategy = sweep_strategy
@@ -345,6 +349,10 @@ class SynthesisResolver:
             max_workers=self.sweep_workers,
             backend=request.backend,
             cache=self.registry.cache,
+            # Cold routed builds are the service's most expensive path, so
+            # baseline bound-seeding is requested explicitly (not just by
+            # default): dominated candidates never reach the solver pool.
+            bounds="baseline",
         )
         algorithms = frontier.algorithms()
         if not algorithms:
