@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Dict, Iterable
+from typing import Dict
 
 import pytest
 
@@ -65,14 +65,20 @@ def merge_bench_json(filename: str, key: str, payload: dict) -> Path:
     return path
 
 
-def phase_totals(results: Iterable) -> Dict[str, float]:
-    """Aggregate per-phase timings from SynthesisResults.
+def phase_totals(tracer) -> Dict[str, float]:
+    """Aggregate per-phase timings from a telemetry ``Tracer``'s span forest.
 
     Every bench JSON should carry an encode/solve/verify split so a future
     perf regression can be attributed to the phase that caused it instead
-    of showing up as an opaque wall-clock delta.  Cache replays are counted
-    separately — their timings describe the original solve, not this run.
+    of showing up as an opaque wall-clock delta.  The tracer is the source
+    of truth for the split (see README "Observability"): phase spans
+    recorded inside pool workers are re-parented into the dispatching
+    sweep span, so parallel and speculative runs report the same shape as
+    the serial loop.  Cache replays are counted separately — their spans
+    are zero-duration markers describing the original solve, not this run.
     """
+    from repro.telemetry import iter_spans
+
     phases = {
         "encode_s": 0.0,
         "solve_s": 0.0,
@@ -80,14 +86,22 @@ def phase_totals(results: Iterable) -> Dict[str, float]:
         "probes": 0,
         "cache_replays": 0,
     }
-    for result in results:
-        if result.cache_hit:
-            phases["cache_replays"] += 1
-            continue
-        phases["probes"] += 1
-        phases["encode_s"] += result.encode_time
-        phases["solve_s"] += result.solve_time
-        phases["verify_s"] += result.verify_time
+    # Family "extend" spans are incremental encoding work: charge to encode.
+    span_to_phase = {
+        "encode": "encode_s",
+        "extend": "encode_s",
+        "solve": "solve_s",
+        "verify": "verify_s",
+    }
+    for span in iter_spans(tracer.roots()):
+        phase = span_to_phase.get(span.name)
+        if phase is not None:
+            phases[phase] += span.duration_s
+        elif span.name == "probe":
+            if span.attrs.get("cache_hit"):
+                phases["cache_replays"] += 1
+            else:
+                phases["probes"] += 1
     for key in ("encode_s", "solve_s", "verify_s"):
         phases[key] = round(phases[key], 4)
     return phases

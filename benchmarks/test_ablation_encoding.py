@@ -18,6 +18,7 @@ import time
 import pytest
 
 from conftest import (
+    bench_dir,
     cpu_parallelism,
     full_scale,
     merge_bench_json,
@@ -91,29 +92,58 @@ SWEEP_SMOKE = dict(k=4, max_steps=3, max_chunks=6, time_limit=1.2)
 SWEEP_STRATEGIES = ("serial", "incremental", "parallel", "speculative")
 
 
+def _metrics_snapshot(metrics) -> dict:
+    """The Prometheus series BENCH consumers cross-check against /v1/metrics."""
+    return {
+        "solver_calls": int(metrics.total("repro_solver_calls_total")),
+        "cache_hits": int(metrics.total("repro_cache_lookups_total", outcome="hit")),
+        "bounds_probed": int(
+            metrics.total("repro_bounds_candidates_total", action="probed")
+        ),
+        "bounds_pruned": int(
+            metrics.total("repro_bounds_candidates_total", action="pruned")
+        ),
+        "bounds_cut": int(metrics.total("repro_bounds_candidates_total", action="cut")),
+    }
+
+
 def _run_sweep_strategy(strategy: str) -> dict:
     from repro.core import pareto_synthesize
+    from repro.telemetry import Metrics, set_metrics, span_coverage, tracing
 
-    results = []
-    started = time.perf_counter()
-    frontier = pareto_synthesize(
-        "Allgather",
-        dgx1(),
-        k=SWEEP_SMOKE["k"],
-        max_steps=SWEEP_SMOKE["max_steps"],
-        max_chunks=SWEEP_SMOKE["max_chunks"],
-        time_limit_per_instance=SWEEP_SMOKE["time_limit"],
-        strategy=strategy,
-        max_workers=2,
-        on_result=results.append,
-    )
-    wall = time.perf_counter() - started
-    return {
+    metrics = Metrics()
+    previous = set_metrics(metrics)
+    try:
+        started = time.perf_counter()
+        with tracing() as tracer:
+            frontier = pareto_synthesize(
+                "Allgather",
+                dgx1(),
+                k=SWEEP_SMOKE["k"],
+                max_steps=SWEEP_SMOKE["max_steps"],
+                max_chunks=SWEEP_SMOKE["max_chunks"],
+                time_limit_per_instance=SWEEP_SMOKE["time_limit"],
+                strategy=strategy,
+                max_workers=2,
+            )
+        wall = time.perf_counter() - started
+    finally:
+        set_metrics(previous)
+    row = {
         "wall_s": round(wall, 3),
         "points": [[p.chunks_per_node, p.steps, p.rounds] for p in frontier.points],
         "engine_stats": frontier.engine_stats,
-        "phases": phase_totals(results),
+        "phases": phase_totals(tracer),
+        "probe_coverage": round(span_coverage(tracer.roots(), "probe", total_s=wall), 4),
+        "metrics": _metrics_snapshot(metrics),
     }
+    if strategy == "speculative":
+        # The acceptance-criterion artifact: a Perfetto-loadable trace of the
+        # speculative DGX-1 Allgather sweep, archived by the CI bench job.
+        trace_path = bench_dir() / "trace.json"
+        tracer.write_chrome_trace(trace_path)
+        row["trace_artifact"] = trace_path.name
+    return row
 
 
 def test_sweep_strategy_ablation():
@@ -181,6 +211,24 @@ def test_sweep_strategy_ablation():
     assert family_encodes < serial_stats["encode_calls"]
     assert family_encodes <= SWEEP_SMOKE["max_steps"]
 
+    # Telemetry cross-checks (the /v1/metrics acceptance criterion): the
+    # metric registry must agree with the engine's own committed counters.
+    # Bounds series are published from the committed SweepStats, so they
+    # match exactly on every dispatcher; solver-call metrics additionally
+    # count speculative losers (honest work whose stats the commit
+    # discards), so on pool dispatchers the metric is a >= bound.
+    for name, row in rows.items():
+        stats = row["engine_stats"]
+        assert row["metrics"]["bounds_probed"] == stats["candidates_probed"], name
+        if name in ("serial", "incremental"):
+            assert row["metrics"]["solver_calls"] == stats["solver_calls"], name
+        else:
+            assert row["metrics"]["solver_calls"] >= stats["solver_calls"], name
+    # Perfetto acceptance: the archived speculative trace's per-candidate
+    # probe spans cover >=95% of the measured sweep wall clock.
+    assert rows["speculative"]["probe_coverage"] >= 0.95, rows["speculative"]
+    assert (bench_dir() / rows["speculative"]["trace_artifact"]).exists()
+
     if asserted:
         # The structural margins on this smoke are ~1.5x (vs serial, whose
         # timeout-bound head candidates burn back to back) and ~1.1x (vs
@@ -213,22 +261,27 @@ BOUNDS_MODES = ("baseline", "off")
 
 def _run_bounds_config(strategy: str, bounds: str) -> dict:
     from repro.core import pareto_synthesize
+    from repro.telemetry import Metrics, set_metrics, tracing
 
-    results = []
-    started = time.perf_counter()
-    frontier = pareto_synthesize(
-        "Allgather",
-        dgx1(),
-        k=SWEEP_BOUNDS["k"],
-        max_steps=SWEEP_BOUNDS["max_steps"],
-        max_chunks=SWEEP_BOUNDS["max_chunks"],
-        conflict_limit=SWEEP_BOUNDS["conflict_limit"],
-        strategy=strategy,
-        max_workers=2,
-        bounds=bounds,
-        on_result=results.append,
-    )
-    wall = time.perf_counter() - started
+    metrics = Metrics()
+    previous = set_metrics(metrics)
+    try:
+        started = time.perf_counter()
+        with tracing() as tracer:
+            frontier = pareto_synthesize(
+                "Allgather",
+                dgx1(),
+                k=SWEEP_BOUNDS["k"],
+                max_steps=SWEEP_BOUNDS["max_steps"],
+                max_chunks=SWEEP_BOUNDS["max_chunks"],
+                conflict_limit=SWEEP_BOUNDS["conflict_limit"],
+                strategy=strategy,
+                max_workers=2,
+                bounds=bounds,
+            )
+        wall = time.perf_counter() - started
+    finally:
+        set_metrics(previous)
     stats = frontier.engine_stats
     return {
         "wall_s": round(wall, 3),
@@ -244,7 +297,8 @@ def _run_bounds_config(strategy: str, bounds: str) -> dict:
         "probes_pruned": stats.get("probes_pruned", 0),
         "probes_cut": stats.get("probes_cut", 0),
         "engine_stats": stats,
-        "phases": phase_totals(results),
+        "phases": phase_totals(tracer),
+        "metrics": _metrics_snapshot(metrics),
     }
 
 

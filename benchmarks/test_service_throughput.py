@@ -45,7 +45,30 @@ def _make_service(tmp_path, name):
     return PlanningService(registry, num_workers=4, resolver=resolver), resolver
 
 
-def _cold_burst(tmp_path) -> dict:
+def _broker_metrics(metrics) -> dict:
+    """The Prometheus series a scraper would see for this window — recorded
+    so BENCH_service.json and /v1/metrics can be cross-checked on one run."""
+    return {
+        "broker_enqueued": int(
+            metrics.total("repro_broker_requests_total", outcome="enqueued")
+        ),
+        "broker_coalesced": int(
+            metrics.total("repro_broker_requests_total", outcome="coalesced")
+        ),
+        "jobs_completed": int(
+            metrics.total("repro_broker_jobs_total", outcome="completed")
+        ),
+        "resolver_rungs": {
+            "synthesized": int(
+                metrics.total("repro_resolver_rung_total", rung="synthesized")
+            ),
+            "cache": int(metrics.total("repro_resolver_rung_total", rung="cache")),
+            "registry": int(metrics.total("repro_resolver_rung_total", rung="registry")),
+        },
+    }
+
+
+def _cold_burst(tmp_path, metrics) -> dict:
     service, resolver = _make_service(tmp_path, "cold")
     with service:
         barrier = threading.Barrier(8)
@@ -66,16 +89,20 @@ def _cold_burst(tmp_path) -> dict:
 
     assert statuses == ["ok"] * 8
     assert resolver.stats()["solves"] <= 1
-    return {
+    row = {
         "concurrent_callers": 8,
         "backend_solves": resolver.stats()["solves"],
         "coalesced": broker["coalesced"],
         "coalescing_ratio": broker["coalescing_ratio"],
         "wall_s": round(elapsed, 4),
+        "metrics": _broker_metrics(metrics),
     }
+    # The registry and the broker's own counters must agree on coalescing.
+    assert row["metrics"]["broker_coalesced"] == broker["coalesced"]
+    return row
 
 
-def _warm_throughput(tmp_path) -> dict:
+def _warm_throughput(tmp_path, metrics) -> dict:
     service, resolver = _make_service(tmp_path, "warm")
     requests_total = 400
     client_threads = 8
@@ -111,6 +138,9 @@ def _warm_throughput(tmp_path) -> dict:
     assert ok == requests_total
     resolver_stats = resolver.stats()
     answered = resolver_stats["solves"] + resolver_stats["registry_hits"]
+    assert int(
+        metrics.total("repro_broker_requests_total", outcome="coalesced")
+    ) == broker["coalesced"]
     return {
         "requests": requests_total,
         "client_threads": client_threads,
@@ -122,12 +152,24 @@ def _warm_throughput(tmp_path) -> dict:
         "cache_hit_rate": round(resolver_stats["registry_hits"] / answered, 4)
         if answered else 0.0,
         "route_hits": registry_stats["route_hits"],
+        "metrics": _broker_metrics(metrics),
     }
 
 
 def test_service_throughput(tmp_path):
-    cold = _cold_burst(tmp_path)
-    warm = _warm_throughput(tmp_path)
+    from repro.telemetry import Metrics, set_metrics
+
+    # A fresh registry per sub-run so the recorded series describe exactly
+    # this benchmark's window (the process-global registry accumulates).
+    cold_metrics = Metrics()
+    previous = set_metrics(cold_metrics)
+    try:
+        cold = _cold_burst(tmp_path, cold_metrics)
+        warm_metrics = Metrics()
+        set_metrics(warm_metrics)
+        warm = _warm_throughput(tmp_path, warm_metrics)
+    finally:
+        set_metrics(previous)
     payload = {
         "benchmark": "planning_service_throughput",
         "instance": "Allgather on ring:4 (quickstart)",

@@ -25,7 +25,9 @@ Subcommands
 ``repro request``
     Client for ``repro serve``: ask a running service for a plan (pinned
     ``-C/-S/-R`` candidate or ``--size``-routed), or answer locally with
-    ``--local`` when no server is up.
+    ``--local`` when no server is up.  ``--stats`` instead pretty-prints
+    the service's ``/v1/stats`` counters (broker coalescing, resolver
+    ladder rungs, bounds-ledger work, cache hit rate).
 ``repro fault``
     Register, clear or inspect fabric faults on a running service
     (``--link-down``, ``--rank-down``, ``--link-degraded``); mutations
@@ -35,6 +37,9 @@ Subcommands
 ``repro run``
     Execute an imported plan/XML file on the functional executor and the
     alpha-beta simulator: verified correctness plus estimated times.
+``repro trace``
+    Summarize a Chrome trace-event JSON written by ``synthesize --trace``
+    or ``pareto --trace`` (span counts, totals, slowest probes).
 
 Every subcommand exits 0 on success and 1 on failure, printing errors to
 stderr; ``repro synthesize`` additionally exits 1 when the candidate is
@@ -136,14 +141,17 @@ def _cmd_synthesize(args) -> int:
         raise CliError(str(exc)) from exc
 
     cache = _resolve_cache(args)
-    result = synthesize(
-        instance,
-        time_limit=args.time_limit,
-        conflict_limit=args.conflict_limit,
-        backend=args.backend,
-        cache=cache,
-        name=args.name,
-    )
+    tracer = _make_tracer(args)
+    with _maybe_tracing(tracer):
+        result = synthesize(
+            instance,
+            time_limit=args.time_limit,
+            conflict_limit=args.conflict_limit,
+            backend=args.backend,
+            cache=cache,
+            name=args.name,
+        )
+    _write_trace(tracer, args)
     print(result.summary())
     if result.algorithm is not None:
         if not args.quiet:
@@ -152,6 +160,32 @@ def _cmd_synthesize(args) -> int:
         _export_algorithm(result, args)
         return 0
     return 1
+
+
+def _make_tracer(args):
+    """A recording tracer when ``--trace FILE`` was given, else ``None``."""
+    if not getattr(args, "trace", None):
+        return None
+    from ..telemetry import Tracer
+
+    return Tracer()
+
+
+def _maybe_tracing(tracer):
+    if tracer is None:
+        import contextlib
+
+        return contextlib.nullcontext()
+    from ..telemetry import tracing
+
+    return tracing(tracer)
+
+
+def _write_trace(tracer, args) -> None:
+    if tracer is None:
+        return
+    tracer.write_chrome_trace(args.trace)
+    print(f"wrote Chrome trace to {args.trace} (load it in ui.perfetto.dev)")
 
 
 def _export_algorithm(result, args) -> None:
@@ -198,9 +232,12 @@ def _cmd_pareto(args) -> int:
             portfolio=portfolio,
             cache=cache,
             bounds="off" if args.no_bounds else "baseline",
+            trace=args.trace,
         )
     except Exception as exc:
         raise CliError(str(exc)) from exc
+    if args.trace:
+        print(f"wrote Chrome trace to {args.trace} (load it in ui.perfetto.dev)")
 
     title = (
         f"{frontier.collective} on {frontier.topology_name} "
@@ -537,9 +574,77 @@ def _build_plan_request(args):
         raise CliError(str(exc)) from exc
 
 
+def _print_section(title: str, rows) -> None:
+    print(f"{title}:")
+    for label, value in rows:
+        print(f"  {label:<22} {value}")
+
+
+def _cmd_request_stats(args) -> int:
+    from ..service import PlanningService, ServiceError, fetch_stats
+
+    try:
+        if args.local:
+            with PlanningService(_make_registry(args), num_workers=args.workers) as service:
+                stats = service.stats()
+        else:
+            stats = fetch_stats(args.url)
+    except ServiceError as exc:
+        raise CliError(str(exc)) from exc
+
+    broker = stats.get("broker", {})
+    _print_section("broker", [
+        ("submitted", broker.get("submitted", 0)),
+        ("coalesced", f"{broker.get('coalesced', 0)} "
+                      f"({broker.get('coalescing_ratio', 0.0):.0%})"),
+        ("completed", broker.get("completed", 0)),
+        ("failed", broker.get("failed", 0)),
+        ("expired", broker.get("expired", 0)),
+        ("pending / inflight", f"{broker.get('pending', 0)} / "
+                               f"{broker.get('inflight', 0)}"),
+        ("resolver crashes", broker.get("resolver_crashes", 0)),
+        ("window uptime", f"{broker.get('uptime_s', 0.0):.1f}s"),
+    ])
+    resolver = stats.get("resolver") or {}
+    if resolver:
+        rungs = resolver.get("rungs") or {}
+        rung_text = (
+            ", ".join(f"{name}={rungs[name]}" for name in sorted(rungs)) or "(none)"
+        )
+        _print_section("resolver", [
+            ("solves", resolver.get("solves", 0)),
+            ("registry hits", resolver.get("registry_hits", 0)),
+            ("replans", resolver.get("replans", 0)),
+            ("ladder rungs", rung_text),
+        ])
+    engine = stats.get("engine") or {}
+    bounds = engine.get("bounds") or {}
+    cache = engine.get("cache") or {}
+    _print_section("engine", [
+        ("candidates probed", bounds.get("probed", 0)),
+        ("candidates pruned", bounds.get("pruned", 0)),
+        ("candidates cut", bounds.get("cut", 0)),
+        ("cache hits", cache.get("hits", 0)),
+        ("cache misses", cache.get("misses", 0)),
+        ("cache hit rate", f"{cache.get('hit_rate', 0.0):.0%}"),
+    ])
+    faults = stats.get("faults") or {}
+    if faults.get("active_topologies"):
+        _print_section("faults", [
+            ("degraded topologies", faults["active_topologies"]),
+        ])
+    return 0
+
+
 def _cmd_request(args) -> int:
     from ..service import PlanningService, ServiceError, request_plan
 
+    if args.stats:
+        return _cmd_request_stats(args)
+    if not args.collective:
+        raise CliError("request needs a COLLECTIVE (or --stats)")
+    if not args.topology:
+        raise CliError("request needs --topology (unless asking for --stats)")
     request = _build_plan_request(args)
     try:
         if args.local:
@@ -716,6 +821,25 @@ def _cmd_run(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# repro trace
+# ----------------------------------------------------------------------
+def _cmd_trace(args) -> int:
+    from ..telemetry import summarize_chrome_trace
+
+    path = Path(args.file)
+    if not path.exists():
+        raise CliError(f"no such file: {path}")
+    try:
+        trace = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise CliError(f"{path} is not valid trace JSON: {exc}") from exc
+    if not isinstance(trace, dict):
+        raise CliError(f"{path} is not a Chrome trace (expected a JSON object)")
+    print(summarize_chrome_trace(trace))
+    return 0
+
+
+# ----------------------------------------------------------------------
 # Parser assembly
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
@@ -745,6 +869,9 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--xml", default=None, metavar="FILE", help="export MSCCL-style XML")
     synth.add_argument("--plan", default=None, metavar="FILE", help="export a plan bundle")
     synth.add_argument("-q", "--quiet", action="store_true", help="omit the schedule dump")
+    synth.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a Chrome trace-event JSON of the solve "
+                       "(load in ui.perfetto.dev or chrome://tracing)")
     _add_engine_options(synth)
     _add_cache_options(synth, allow_disable=True)
     synth.set_defaults(func=_cmd_synthesize)
@@ -781,6 +908,9 @@ def build_parser() -> argparse.ArgumentParser:
     pareto.add_argument("--export-dir", default=None,
                         help="write every frontier algorithm into this directory")
     pareto.add_argument("--export-format", choices=("xml", "plan", "both"), default="xml")
+    pareto.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a Chrome trace-event JSON of the whole sweep "
+                        "(per-candidate spans; load in ui.perfetto.dev)")
     _add_engine_options(pareto)
     _add_cache_options(pareto, allow_disable=True)
     pareto.set_defaults(func=_cmd_pareto)
@@ -871,8 +1001,12 @@ def build_parser() -> argparse.ArgumentParser:
     request = subparsers.add_parser(
         "request", help="ask a running planning service for a plan"
     )
-    request.add_argument("collective")
-    _add_topology_option(request)
+    request.add_argument("collective", nargs="?", default=None,
+                         help="collective name (omit with --stats)")
+    request.add_argument("-t", "--topology", default=None, help=TOPOLOGY_HELP)
+    request.add_argument("--stats", action="store_true",
+                         help="print the service's /v1/stats counters "
+                         "(broker, resolver ladder, bounds, cache) and exit")
     request.add_argument("-C", "--chunks", type=int, default=None,
                          help="pin the candidate: chunks per node")
     request.add_argument("-S", "--steps", type=int, default=None)
@@ -932,6 +1066,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-node buffer size to simulate (repeatable; "
                      "accepts K/M/G suffixes; default 1K, 1M, 128M)")
     run.set_defaults(func=_cmd_run)
+
+    # trace ------------------------------------------------------------
+    trace = subparsers.add_parser(
+        "trace", help="summarize a Chrome trace written by --trace"
+    )
+    trace.add_argument("file", help="trace-event JSON file (from --trace FILE)")
+    trace.set_defaults(func=_cmd_trace)
 
     # backends ---------------------------------------------------------
     backends = subparsers.add_parser("backends", help="list registered solver backends")

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..collectives import get_collective
 from ..solver import SolveResult
+from ..telemetry import Tracer, get_tracer, tracing
 from ..topology import Topology
 from .algorithm import Algorithm
 from .bounds import lower_bounds
@@ -249,6 +250,7 @@ def pareto_synthesize(
     portfolio: Optional[Sequence[str]] = None,
     cache=None,
     bounds: Union[str, None, "object"] = "baseline",
+    trace: Union[str, "os.PathLike", Tracer, None] = None,
 ) -> ParetoFrontier:
     """Run Algorithm 1 for a collective on a topology.
 
@@ -296,6 +298,14 @@ def pareto_synthesize(
         instance is used as-is (it must match the collective, topology and
         root).  The Pareto-optimal frontier points are identical with
         bounds on or off — pruning only removes dominated probes.
+    trace:
+        Span tracing for this run.  A path (str / PathLike) records the
+        whole run with a fresh :class:`~repro.telemetry.Tracer` and writes
+        Chrome trace-event JSON there (open it in Perfetto or
+        ``chrome://tracing``, or digest it with ``repro trace``).  A
+        :class:`~repro.telemetry.Tracer` instance records into that tracer
+        and writes nothing.  ``None`` (default) leaves the ambient tracer
+        in place — the no-op tracer unless the caller installed one.
     """
     from ..engine.backends import get_backend
     from ..engine.bounds import BoundsLedger, seed_ledger
@@ -303,6 +313,33 @@ def pareto_synthesize(
 
     if k < 0:
         raise ParetoError("k must be non-negative")
+
+    if trace is not None:
+        rerun = dict(
+            root=root,
+            max_steps=max_steps,
+            max_chunks=max_chunks,
+            time_limit_per_instance=time_limit_per_instance,
+            conflict_limit=conflict_limit,
+            stop_at_bandwidth_optimal=stop_at_bandwidth_optimal,
+            on_result=on_result,
+            strategy=strategy,
+            max_workers=max_workers,
+            backend=backend,
+            portfolio=portfolio,
+            cache=cache,
+            bounds=bounds,
+            trace=None,
+        )
+        if isinstance(trace, Tracer):
+            with tracing(trace):
+                return pareto_synthesize(collective, topology, k, **rerun)
+        tracer = Tracer()
+        with tracing(tracer):
+            frontier = pareto_synthesize(collective, topology, k, **rerun)
+        tracer.write_chrome_trace(trace)
+        return frontier
+
     spec = get_collective(collective)
 
     # --- combining collectives: delegate to the non-combining counterpart ----
@@ -370,6 +407,10 @@ def pareto_synthesize(
         bounds=bounds_mode,
         bound_sources=ledger.sources() if ledger is not None else [],
     )
+    pareto_ctx = get_tracer().span(
+        "pareto", collective=spec.name, topology=topology.name, k=k,
+        strategy=strategy, bounds=bounds_mode,
+    )
 
     def build_request(steps: int) -> SweepRequest:
         return SweepRequest(
@@ -422,56 +463,58 @@ def pareto_synthesize(
         return False
 
     step_counts = list(range(a_l, max_steps + 1))
-    if hasattr(dispatcher, "sweep_many"):
-        # Cross-S pipeline: hand the dispatcher the whole sweep sequence so
-        # it can speculate past the step count currently being decided.  The
-        # stop predicate mirrors Algorithm 1's termination test; committed
-        # outcomes are folded in enumeration order, so the frontier (and
-        # the exhausted_steps flag) matches the serial loop exactly.
-        def stop_predicate(outcome) -> bool:
-            if not stop_at_bandwidth_optimal:
-                return False
-            first_sat = outcome.first_sat
-            return first_sat is not None and (
-                Fraction(
-                    first_sat.instance.rounds, first_sat.instance.chunks_per_node
+    with pareto_ctx as pareto_span:
+        if hasattr(dispatcher, "sweep_many"):
+            # Cross-S pipeline: hand the dispatcher the whole sweep sequence so
+            # it can speculate past the step count currently being decided.  The
+            # stop predicate mirrors Algorithm 1's termination test; committed
+            # outcomes are folded in enumeration order, so the frontier (and
+            # the exhausted_steps flag) matches the serial loop exactly.
+            def stop_predicate(outcome) -> bool:
+                if not stop_at_bandwidth_optimal:
+                    return False
+                first_sat = outcome.first_sat
+                return first_sat is not None and (
+                    Fraction(
+                        first_sat.instance.rounds, first_sat.instance.chunks_per_node
+                    )
+                    == b_l
                 )
-                == b_l
+
+            outcomes = dispatcher.sweep_many(
+                [build_request(steps) for steps in step_counts],
+                cache=cache,
+                stop=stop_predicate,
             )
-
-        outcomes = dispatcher.sweep_many(
-            [build_request(steps) for steps in step_counts],
-            cache=cache,
-            stop=stop_predicate,
-        )
-        stopped_at: Optional[int] = None
-        for index, outcome in enumerate(outcomes):
-            if outcome is None:
-                break  # cancelled speculative sweeps past the stop point
-            reached = ingest_sweep(step_counts[index], outcome)
-            if reached and stop_at_bandwidth_optimal:
-                stopped_at = index
-                break
-        # The serial loop only skips its for-else when it breaks at the top
-        # of a *later* iteration, so stopping on the final step count still
-        # reports the budget as exhausted.
-        frontier.exhausted_steps = stopped_at is None or (
-            stopped_at == len(step_counts) - 1
-        )
-    else:
-        reached_bandwidth_optimal = False
-        for steps in step_counts:
-            if reached_bandwidth_optimal and stop_at_bandwidth_optimal:
-                break
-            outcome = dispatcher.sweep(build_request(steps), cache=cache)
-            if ingest_sweep(steps, outcome):
-                reached_bandwidth_optimal = True
+            stopped_at: Optional[int] = None
+            for index, outcome in enumerate(outcomes):
+                if outcome is None:
+                    break  # cancelled speculative sweeps past the stop point
+                reached = ingest_sweep(step_counts[index], outcome)
+                if reached and stop_at_bandwidth_optimal:
+                    stopped_at = index
+                    break
+            # The serial loop only skips its for-else when it breaks at the top
+            # of a *later* iteration, so stopping on the final step count still
+            # reports the budget as exhausted.
+            frontier.exhausted_steps = stopped_at is None or (
+                stopped_at == len(step_counts) - 1
+            )
         else:
-            frontier.exhausted_steps = True
+            reached_bandwidth_optimal = False
+            for steps in step_counts:
+                if reached_bandwidth_optimal and stop_at_bandwidth_optimal:
+                    break
+                outcome = dispatcher.sweep(build_request(steps), cache=cache)
+                if ingest_sweep(steps, outcome):
+                    reached_bandwidth_optimal = True
+            else:
+                frontier.exhausted_steps = True
 
-    _mark_pareto_optimal(frontier)
-    frontier.total_time = time.monotonic() - start_time
-    frontier.engine_stats = sweep_stats.as_dict()
+        _mark_pareto_optimal(frontier)
+        frontier.total_time = time.monotonic() - start_time
+        frontier.engine_stats = sweep_stats.as_dict()
+        pareto_span.set(points=len(frontier.points))
     return frontier
 
 

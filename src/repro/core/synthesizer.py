@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..solver import SolveResult
+from ..telemetry import get_metrics, get_tracer
 from .algorithm import Algorithm
 from .encoding import NaiveEncoding, ScclEncoding
 from .instance import SynCollInstance
@@ -50,6 +51,11 @@ class SynthesisResult:
     #: ``"cut"`` (synthesized from a monotone UNSAT bound, no solver call).
     #: Cache replays keep the provenance of the entry they replay.
     provenance: str = "solved"
+    #: Telemetry spans recorded while producing this result in a pool
+    #: worker process (``Tracer.export()`` dicts).  The dispatching parent
+    #: re-parents them under its sweep span and drops the field; it is
+    #: never persisted to the cache.
+    trace: Optional[list] = None
 
     @property
     def is_sat(self) -> bool:
@@ -131,57 +137,84 @@ def synthesize(
     # name fails immediately rather than only on the first cache miss.
     solver_backend = get_backend(backend)
 
-    if cache is not None:
-        cached = lookup_result(
-            cache, instance, encoding=encoding, prune=prune, verify=verify
-        )
-        if cached is not None:
-            if name is not None and cached.algorithm is not None:
-                cached.algorithm = cached.algorithm.renamed(name)
-            return cached
-
-    start = time.monotonic()
-    if encoding == "sccl":
-        encoder = ScclEncoding(instance, prune=prune)
-    else:
-        encoder = NaiveEncoding(instance)
-    ctx = encoder.encode()
-    encode_time = time.monotonic() - start
-
-    handle = solver_backend.create()
-    start = time.monotonic()
-    loaded = handle.load(ctx.cnf)
-    if not loaded:
-        status = SolveResult.UNSAT
-    else:
-        status = handle.solve(conflict_limit=conflict_limit, time_limit=time_limit)
-    solve_time = time.monotonic() - start
-
-    result = SynthesisResult(
-        instance=instance,
-        status=status,
-        encode_time=encode_time,
-        solve_time=solve_time,
-        encoding_stats=encoder.stats.as_dict(),
-        solver_stats=handle.stats() if loaded else {},
+    tracer = get_tracer()
+    with tracer.span(
+        "probe",
+        collective=instance.collective,
+        C=instance.chunks_per_node,
+        S=instance.steps,
+        R=instance.rounds,
         encoding=encoding,
         backend=solver_backend.name,
-    )
-    if status is SolveResult.SAT:
-        algorithm = encoder.decode(handle.model(), name=name)
-        if verify:
+    ) as probe_span:
+        if cache is not None:
+            cached = lookup_result(
+                cache, instance, encoding=encoding, prune=prune, verify=verify
+            )
+            if cached is not None:
+                if name is not None and cached.algorithm is not None:
+                    cached.algorithm = cached.algorithm.renamed(name)
+                probe_span.set(
+                    verdict=cached.status.value, cache_hit=True,
+                    backend=cached.backend,
+                )
+                return cached
+
+        with tracer.span("encode", encoding=encoding):
             start = time.monotonic()
-            try:
-                algorithm.verify()
-            except Exception as exc:  # pragma: no cover - encoder bug guard
-                raise SynthesisError(
-                    f"decoded algorithm fails verification: {exc}"
-                ) from exc
-            result.verify_time = time.monotonic() - start
-        result.algorithm = algorithm
-    if cache is not None:
-        store_result(cache, result, encoding=encoding, prune=prune)
-    return result
+            if encoding == "sccl":
+                encoder = ScclEncoding(instance, prune=prune)
+            else:
+                encoder = NaiveEncoding(instance)
+            ctx = encoder.encode()
+            encode_time = time.monotonic() - start
+
+        handle = solver_backend.create()
+        with tracer.span("solve", backend=solver_backend.name):
+            start = time.monotonic()
+            loaded = handle.load(ctx.cnf)
+            if not loaded:
+                status = SolveResult.UNSAT
+            else:
+                status = handle.solve(
+                    conflict_limit=conflict_limit, time_limit=time_limit
+                )
+            solve_time = time.monotonic() - start
+
+        metrics = get_metrics()
+        metrics.inc("repro_solver_calls_total", backend=solver_backend.name)
+        metrics.observe(
+            "repro_solve_seconds", solve_time, backend=solver_backend.name
+        )
+        metrics.observe("repro_encode_seconds", encode_time)
+
+        result = SynthesisResult(
+            instance=instance,
+            status=status,
+            encode_time=encode_time,
+            solve_time=solve_time,
+            encoding_stats=encoder.stats.as_dict(),
+            solver_stats=handle.stats() if loaded else {},
+            encoding=encoding,
+            backend=solver_backend.name,
+        )
+        probe_span.set(verdict=status.value, cache_hit=False)
+        if status is SolveResult.SAT:
+            algorithm = encoder.decode(handle.model(), name=name)
+            if verify:
+                with tracer.span("verify"):
+                    start = time.monotonic()
+                    try:
+                        algorithm.verify()
+                    except Exception as exc:  # pragma: no cover - encoder bug guard
+                        raise SynthesisError(
+                            f"decoded algorithm fails verification: {exc}"
+                        ) from exc
+                    result.verify_time = time.monotonic() - start
+            result.algorithm = algorithm
+        if cache is not None:
+            store_result(cache, result, encoding=encoding, prune=prune)
+        return result
 
 
 def synthesize_collective(

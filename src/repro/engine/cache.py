@@ -37,6 +37,7 @@ except ImportError:  # pragma: no cover - non-POSIX
 from ..core.algorithm import Algorithm
 from ..core.instance import SynCollInstance
 from ..solver import SolveResult
+from ..telemetry import get_metrics
 from ..topology import Topology
 
 CACHE_FORMAT_VERSION = 1
@@ -251,11 +252,14 @@ class AlgorithmCache:
                 entry = CacheEntry.from_json(json.load(handle))
         except (OSError, ValueError, KeyError, CacheError):
             self.misses += 1
+            get_metrics().inc("repro_cache_lookups_total", outcome="miss")
             return None
         if entry.key != key:
             self.misses += 1
+            get_metrics().inc("repro_cache_lookups_total", outcome="miss")
             return None
         self.hits += 1
+        get_metrics().inc("repro_cache_lookups_total", outcome="hit")
         # Refresh the file's mtime so LRU eviction sees recently-replayed
         # entries as hot.  Best effort: a read-only cache still serves hits.
         try:
@@ -274,6 +278,7 @@ class AlgorithmCache:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(entry.to_json(), handle, sort_keys=True)
             os.replace(tmp_name, path)
+            get_metrics().inc("repro_cache_stores_total")
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -420,6 +425,10 @@ class AlgorithmCache:
             except OSError:
                 continue
             evicted.append(path.stem)
+        if evicted:
+            get_metrics().inc(
+                "repro_cache_evictions_total", value=float(len(evicted))
+            )
         return evicted
 
     # ------------------------------------------------------------------
@@ -465,6 +474,7 @@ class AlgorithmCache:
             self.discard(key)
             self.hits -= 1
             self.misses += 1
+            get_metrics().inc("repro_cache_corrupt_total")
             return None
         return algorithm
 

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.instance import make_instance
+from ..telemetry import Span, get_metrics, get_tracer
 from ..topology import Topology
 from .backends import QUARANTINE, BackendQuarantine, get_backend
 from .bounds import CUT, PROBE, PRUNE, BoundsLedger, ProbePlan, cut_result
@@ -143,6 +144,33 @@ def _account(stats: SweepStats, result) -> None:
         stats.solver_calls += 1
 
 
+def _publish_bounds_metrics(stats: SweepStats) -> None:
+    """Mirror one sweep's bounds accounting into the metrics registry.
+
+    Published once per *committed* sweep, straight from the stats the
+    caller reports, so the ``repro_bounds_candidates_total`` series equals
+    the SweepStats totals by construction — in particular, speculative
+    ``_try_commit`` replays (which build and discard partial outcomes)
+    never double-count.
+    """
+    metrics = get_metrics()
+    if stats.candidates_probed:
+        metrics.inc(
+            "repro_bounds_candidates_total",
+            value=float(stats.candidates_probed), action="probed",
+        )
+    if stats.probes_pruned:
+        metrics.inc(
+            "repro_bounds_candidates_total",
+            value=float(stats.probes_pruned), action="pruned",
+        )
+    if stats.probes_cut:
+        metrics.inc(
+            "repro_bounds_candidates_total",
+            value=float(stats.probes_cut), action="cut",
+        )
+
+
 def _cached_result(request: SweepRequest, rounds: int, chunks: int, cache):
     """Resolve one candidate against the cache (None on a miss or no cache)."""
     if cache is None:
@@ -193,34 +221,39 @@ class SerialDispatcher:
 
         outcome = SweepOutcome()
         plan = _plan_probes(request)
-        for index, (rounds, chunks) in enumerate(request.candidates):
-            action = _plan_action(plan, index)
-            if action == PRUNE:
-                outcome.stats.probes_pruned += 1
-                continue
-            if action == CUT:
-                outcome.stats.probes_cut += 1
-                outcome.results.append(_cut_for(request, plan, index, cache))
-                continue
-            instance = make_instance(
-                request.collective, request.topology, chunks,
-                request.steps, rounds, root=request.root,
-            )
-            result = synthesize(
-                instance,
-                encoding=request.encoding,
-                prune=request.prune,
-                time_limit=request.time_limit,
-                conflict_limit=request.conflict_limit,
-                backend=request.backend,
-                cache=cache,
-            )
-            _account(outcome.stats, result)
-            if request.bounds is not None:
-                request.bounds.observe(result)
-            outcome.results.append(result)
-            if result.is_sat and request.stop_at_first_sat:
-                break
+        with get_tracer().span(
+            "sweep", strategy=self.name, S=request.steps,
+            collective=request.collective,
+        ):
+            for index, (rounds, chunks) in enumerate(request.candidates):
+                action = _plan_action(plan, index)
+                if action == PRUNE:
+                    outcome.stats.probes_pruned += 1
+                    continue
+                if action == CUT:
+                    outcome.stats.probes_cut += 1
+                    outcome.results.append(_cut_for(request, plan, index, cache))
+                    continue
+                instance = make_instance(
+                    request.collective, request.topology, chunks,
+                    request.steps, rounds, root=request.root,
+                )
+                result = synthesize(
+                    instance,
+                    encoding=request.encoding,
+                    prune=request.prune,
+                    time_limit=request.time_limit,
+                    conflict_limit=request.conflict_limit,
+                    backend=request.backend,
+                    cache=cache,
+                )
+                _account(outcome.stats, result)
+                if request.bounds is not None:
+                    request.bounds.observe(result)
+                outcome.results.append(result)
+                if result.is_sat and request.stop_at_first_sat:
+                    break
+        _publish_bounds_metrics(outcome.stats)
         return outcome
 
 
@@ -278,44 +311,59 @@ class IncrementalDispatcher:
             ),
             default=request.steps,
         )
-        for index, (rounds, chunks) in enumerate(request.candidates):
-            action = _plan_action(plan, index)
-            if action == PRUNE:
-                outcome.stats.probes_pruned += 1
-                continue
-            if action == CUT:
-                outcome.stats.probes_cut += 1
-                outcome.results.append(_cut_for(request, plan, index, cache))
-                continue
-            cached = _cached_result(request, rounds, chunks, cache)
-            if cached is not None:
-                result = cached
-                outcome.stats.cache_hits += 1
-                outcome.stats.candidates_probed += 1
-            else:
-                before = family.encode_calls
-                result = family.solve(
-                    request.steps,
-                    chunks,
-                    rounds,
-                    max_rounds=max_rounds,
-                    time_limit=request.time_limit,
-                    conflict_limit=request.conflict_limit,
-                )
-                outcome.stats.encode_calls += family.encode_calls - before
-                outcome.stats.solver_calls += 1
-                outcome.stats.candidates_probed += 1
-                if result.is_unknown and request.unknown_retry:
-                    result = self._retry_exact(request, rounds, chunks, result, outcome)
-                if cache is not None:
-                    store_result(
-                        cache, result, encoding=request.encoding, prune=request.prune
+        tracer = get_tracer()
+        with tracer.span(
+            "sweep", strategy=self.name, S=request.steps,
+            collective=request.collective,
+        ):
+            for index, (rounds, chunks) in enumerate(request.candidates):
+                action = _plan_action(plan, index)
+                if action == PRUNE:
+                    outcome.stats.probes_pruned += 1
+                    continue
+                if action == CUT:
+                    outcome.stats.probes_cut += 1
+                    outcome.results.append(_cut_for(request, plan, index, cache))
+                    continue
+                cached = _cached_result(request, rounds, chunks, cache)
+                if cached is not None:
+                    result = cached
+                    outcome.stats.cache_hits += 1
+                    outcome.stats.candidates_probed += 1
+                    # family.solve was never entered, so emit the replayed
+                    # candidate's probe event here (zero duration).
+                    tracer.instant(
+                        "probe",
+                        collective=request.collective, C=chunks,
+                        S=request.steps, R=rounds,
+                        verdict=result.status.value, cache_hit=True,
+                        backend=result.backend,
                     )
-            if request.bounds is not None:
-                request.bounds.observe(result)
-            outcome.results.append(result)
-            if result.is_sat and request.stop_at_first_sat:
-                break
+                else:
+                    before = family.encode_calls
+                    result = family.solve(
+                        request.steps,
+                        chunks,
+                        rounds,
+                        max_rounds=max_rounds,
+                        time_limit=request.time_limit,
+                        conflict_limit=request.conflict_limit,
+                    )
+                    outcome.stats.encode_calls += family.encode_calls - before
+                    outcome.stats.solver_calls += 1
+                    outcome.stats.candidates_probed += 1
+                    if result.is_unknown and request.unknown_retry:
+                        result = self._retry_exact(request, rounds, chunks, result, outcome)
+                    if cache is not None:
+                        store_result(
+                            cache, result, encoding=request.encoding, prune=request.prune
+                        )
+                if request.bounds is not None:
+                    request.bounds.observe(result)
+                outcome.results.append(result)
+                if result.is_sat and request.stop_at_first_sat:
+                    break
+        _publish_bounds_metrics(outcome.stats)
         return outcome
 
     @staticmethod
@@ -392,8 +440,7 @@ def _solve_candidate_worker(task: Tuple[int, int, int, Optional[str], bool]):
         shared["collective"], shared["topology"], chunks, steps, rounds,
         root=shared["root"],
     )
-    return synthesize(
-        instance,
+    kwargs = dict(
         encoding=shared["encoding"],
         prune=shared["prune"],
         time_limit=shared["time_limit"],
@@ -401,6 +448,18 @@ def _solve_candidate_worker(task: Tuple[int, int, int, Optional[str], bool]):
         backend=backend,
         cache=cache,
     )
+    if not shared.get("trace"):
+        return synthesize(instance, **kwargs)
+    # The parent is tracing: record this probe with a private worker tracer
+    # and ship the span forest back in the pickled result.  The parent
+    # re-parents it under its sweep span, keeping this process's pid/tid.
+    from ..telemetry import Tracer, tracing
+
+    tracer = Tracer()
+    with tracing(tracer):
+        result = synthesize(instance, **kwargs)
+    result.trace = tracer.export()
+    return result
 
 
 def _shared_payload(
@@ -418,7 +477,33 @@ def _shared_payload(
         "conflict_limit": request.conflict_limit,
         "cache_dir": str(cache.root) if cache is not None else None,
         "backend_objs": list(backend_objs),
+        "trace": get_tracer().enabled,
     }
+
+
+def _ingest_worker_result(result, span) -> None:
+    """Fold one pool-worker result into the parent's telemetry.
+
+    Worker processes run with their own (discarded) metrics registry, so
+    the parent replays the per-result counters here — for *every* worker
+    completion it consumes, including speculative losers: the solver time
+    was honestly spent even when the replay rule later discards the
+    result.  Worker-recorded spans are grafted under ``span`` with their
+    original pid/tid so Perfetto renders one track per worker.
+    """
+    metrics = get_metrics()
+    if result.cache_hit:
+        metrics.inc("repro_cache_lookups_total", outcome="hit")
+    else:
+        metrics.inc("repro_solver_calls_total", backend=result.backend)
+        metrics.observe(
+            "repro_solve_seconds", result.solve_time, backend=result.backend
+        )
+        metrics.observe("repro_encode_seconds", result.encode_time)
+    if result.trace:
+        if isinstance(span, Span):
+            span.adopt(result.trace)
+        result.trace = None
 
 
 class ParallelDispatcher:
@@ -440,83 +525,104 @@ class ParallelDispatcher:
 
         outcome = SweepOutcome()
         plan = _plan_probes(request)
-        # Fast path: resolve cuts and cache hits in-process before spawning
-        # workers; pruned candidates never reach the pool (or the cache).
-        results: List = [None] * len(candidates)
-        pending: List[int] = []
-        for index, (rounds, chunks) in enumerate(candidates):
-            action = _plan_action(plan, index)
-            if action == PRUNE:
-                continue  # accounted during the ordered replay below
-            if action == CUT:
-                results[index] = _cut_for(request, plan, index, cache)
-                continue
-            cached = _cached_result(request, rounds, chunks, cache)
-            if cached is not None:
-                results[index] = cached
-            else:
-                pending.append(index)
+        tracer = get_tracer()
+        with tracer.span(
+            "sweep", strategy=self.name, S=request.steps,
+            collective=request.collective,
+        ) as sweep_span:
+            # Fast path: resolve cuts and cache hits in-process before
+            # spawning workers; pruned candidates never reach the pool (or
+            # the cache).
+            results: List = [None] * len(candidates)
+            pending: List[int] = []
+            parent_hits: Set[int] = set()
+            for index, (rounds, chunks) in enumerate(candidates):
+                action = _plan_action(plan, index)
+                if action == PRUNE:
+                    continue  # accounted during the ordered replay below
+                if action == CUT:
+                    results[index] = _cut_for(request, plan, index, cache)
+                    continue
+                cached = _cached_result(request, rounds, chunks, cache)
+                if cached is not None:
+                    results[index] = cached
+                    parent_hits.add(index)
+                else:
+                    pending.append(index)
 
-        if request.stop_at_first_sat:
-            # A SAT cache hit already decides the sweep at its position;
-            # candidates after it would be discarded by the replay.
-            for index, cached in enumerate(results):
-                if cached is not None and cached.is_sat:
-                    pending = [i for i in pending if i < index]
-                    break
+            if request.stop_at_first_sat:
+                # A SAT cache hit already decides the sweep at its position;
+                # candidates after it would be discarded by the replay.
+                for index, cached in enumerate(results):
+                    if cached is not None and cached.is_sat:
+                        pending = [i for i in pending if i < index]
+                        break
 
-        if pending:
-            shared = _shared_payload(request, cache, [backend_obj])
-            workers = min(self.max_workers or os.cpu_count() or 1, len(pending))
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_candidate_worker,
-                initargs=(shared,),
-            ) as pool:
-                try:
-                    futures = {
-                        index: pool.submit(
-                            _solve_candidate_worker,
-                            (
-                                request.steps,
-                                candidates[index][0],
-                                candidates[index][1],
-                                request.backend,
-                                True,
-                            ),
-                        )
-                        for index in pending
-                    }
-                    # Consume in candidate order; once the decisive ordered
-                    # prefix is resolved (first SAT under stop_at_first_sat),
-                    # cancel the rest — their results would be discarded by
-                    # the replay anyway.
-                    for index in pending:
-                        results[index] = futures[index].result()
-                        if results[index].is_sat and request.stop_at_first_sat:
-                            break
-                finally:
-                    pool.shutdown(wait=False, cancel_futures=True)
+            if pending:
+                shared = _shared_payload(request, cache, [backend_obj])
+                workers = min(self.max_workers or os.cpu_count() or 1, len(pending))
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_candidate_worker,
+                    initargs=(shared,),
+                ) as pool:
+                    try:
+                        futures = {
+                            index: pool.submit(
+                                _solve_candidate_worker,
+                                (
+                                    request.steps,
+                                    candidates[index][0],
+                                    candidates[index][1],
+                                    request.backend,
+                                    True,
+                                ),
+                            )
+                            for index in pending
+                        }
+                        # Consume in candidate order; once the decisive ordered
+                        # prefix is resolved (first SAT under stop_at_first_sat),
+                        # cancel the rest — their results would be discarded by
+                        # the replay anyway.
+                        for index in pending:
+                            results[index] = futures[index].result()
+                            _ingest_worker_result(results[index], sweep_span)
+                            if results[index].is_sat and request.stop_at_first_sat:
+                                break
+                    finally:
+                        pool.shutdown(wait=False, cancel_futures=True)
 
-        # Replay the serial decision rule over the ordered results so the
-        # observable outcome is identical to SerialDispatcher's.
-        for index, result in enumerate(results):
-            action = _plan_action(plan, index)
-            if action == PRUNE:
-                outcome.stats.probes_pruned += 1
-                continue
-            if result is None:
-                break  # probes past the first SAT that were cancelled
-            if action == CUT:
-                outcome.stats.probes_cut += 1
+            # Replay the serial decision rule over the ordered results so the
+            # observable outcome is identical to SerialDispatcher's.
+            for index, result in enumerate(results):
+                action = _plan_action(plan, index)
+                if action == PRUNE:
+                    outcome.stats.probes_pruned += 1
+                    continue
+                if result is None:
+                    break  # probes past the first SAT that were cancelled
+                if action == CUT:
+                    outcome.stats.probes_cut += 1
+                    outcome.results.append(result)
+                    continue
+                if index in parent_hits:
+                    # Resolved from the parent's cache before the pool ran:
+                    # no worker span exists, so emit the probe event here.
+                    tracer.instant(
+                        "probe",
+                        collective=request.collective,
+                        C=candidates[index][1], S=request.steps,
+                        R=candidates[index][0],
+                        verdict=result.status.value, cache_hit=True,
+                        backend=result.backend,
+                    )
+                _account(outcome.stats, result)
+                if request.bounds is not None:
+                    request.bounds.observe(result)
                 outcome.results.append(result)
-                continue
-            _account(outcome.stats, result)
-            if request.bounds is not None:
-                request.bounds.observe(result)
-            outcome.results.append(result)
-            if result.is_sat and request.stop_at_first_sat:
-                break
+                if result.is_sat and request.stop_at_first_sat:
+                    break
+        _publish_bounds_metrics(outcome.stats)
         return outcome
 
 
@@ -533,6 +639,14 @@ class _SweepState:
     inflight: Set[int] = field(default_factory=set)  # indices awaiting a verdict
     sat_bound: Optional[int] = None  # smallest index known SAT
     verdicts: Dict[int, List] = field(default_factory=dict)  # portfolio returns
+    #: Free-floating "sweep" span for this step count (``tracer.open``) —
+    #: several stay open at once while the pipeline speculates; closed with
+    #: ``committed=True/False`` at commit / batch teardown.  ``NULL_SPAN``
+    #: (not a :class:`Span`) when tracing is disabled.
+    span: object = None
+    #: Indices resolved from the parent's cache at prepare time; their
+    #: probe events are synthesized at commit (workers never saw them).
+    cached: Set[int] = field(default_factory=set)
 
     def note_sat(self, index: int) -> None:
         if self.sat_bound is None or index < self.sat_bound:
@@ -630,6 +744,22 @@ class SpeculativeDispatcher:
         # Fail fast on unknown backend names before spawning any workers.
         backend_objs = [get_backend(name) for name in backends]
 
+        tracer = get_tracer()
+        batch_ctx = tracer.span(
+            "sweep_batch", strategy=self.name, sweeps=len(requests),
+            collective=requests[0].collective,
+        )
+        with batch_ctx:
+            return self._sweep_many_traced(requests, cache, stop, backends, backend_objs)
+
+    def _sweep_many_traced(
+        self,
+        requests: List[SweepRequest],
+        cache: Optional[AlgorithmCache],
+        stop: Optional[Callable[[SweepOutcome], bool]],
+        backends: List[Optional[str]],
+        backend_objs: List[object],
+    ) -> List[Optional[SweepOutcome]]:
         states = [self._prepare_state(request, cache) for request in requests]
         outcomes: List[Optional[SweepOutcome]] = [None] * len(requests)
 
@@ -641,6 +771,8 @@ class SpeculativeDispatcher:
                 self._persist_cuts(outcomes[index], requests[index], cache)
                 if stop is not None and stop(outcomes[index]):
                     break
+            for index, state in enumerate(states):
+                self._close_sweep_span(state, committed=outcomes[index] is not None)
             return outcomes
 
         shared = _shared_payload(requests[0], cache, backend_objs)
@@ -730,6 +862,7 @@ class SpeculativeDispatcher:
                                 )
                     self._persist_cuts(outcome, requests[0], cache)
                     outcomes[decided] = outcome
+                    self._close_sweep_span(states[decided], committed=True)
                     decided += 1
                     if stop is not None and stop(outcome):
                         break  # later step counts are speculative losers
@@ -755,6 +888,7 @@ class SpeculativeDispatcher:
                     # the result's solver stats; fold them into the parent's
                     # quarantine so submit-time filtering sees them.
                     self._note_backend_health(result)
+                    _ingest_worker_result(result, state.span)
                     expected = len(candidate_futures.get((index, cand), ()))
                     self._record(state, cand, backend, result, expected)
                     if state.results[cand] is None:
@@ -772,9 +906,19 @@ class SpeculativeDispatcher:
                                 cancel_candidate(index, later)
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
+            # Close cancelled/abandoned sweep spans; committed ones already
+            # closed (close is idempotent, so this is a no-op for them).
+            for state in states:
+                self._close_sweep_span(state, committed=False)
         return outcomes
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _close_sweep_span(state: _SweepState, *, committed: bool) -> None:
+        """Finish one step count's free-floating sweep span (idempotent)."""
+        if isinstance(state.span, Span):
+            get_tracer().close(state.span, committed=committed)
+
     @staticmethod
     def _persist_cuts(
         outcome: Optional[SweepOutcome], request: SweepRequest, cache
@@ -812,6 +956,10 @@ class SpeculativeDispatcher:
         state = _SweepState(
             request=request, candidates=candidates, results=[None] * len(candidates)
         )
+        state.span = get_tracer().open(
+            "sweep", strategy=self.name, S=request.steps,
+            collective=request.collective,
+        )
         plan = _plan_probes(request)
         pending: List[int] = []
         for index, (rounds, chunks) in enumerate(candidates):
@@ -822,6 +970,7 @@ class SpeculativeDispatcher:
             cached = _cached_result(request, rounds, chunks, cache)
             if cached is not None:
                 state.results[index] = cached
+                state.cached.add(index)
                 if cached.is_sat and request.stop_at_first_sat:
                     state.note_sat(index)
             else:
@@ -882,6 +1031,7 @@ class SpeculativeDispatcher:
         plan = _plan_probes(request)
         outcome = SweepOutcome()
         observed: List = []
+        committed_cached: List[int] = []
         for index in range(len(state.candidates)):
             action = _plan_action(plan, index)
             if action == PRUNE:
@@ -899,11 +1049,36 @@ class SpeculativeDispatcher:
             _account(outcome.stats, result)
             outcome.results.append(result)
             observed.append(result)
+            if index in state.cached:
+                committed_cached.append(index)
             if result.is_sat and state.request.stop_at_first_sat:
                 break
         if request.bounds is not None:
             for result in observed:
                 request.bounds.observe(result)
+        # The commit succeeded (earlier attempts bail out above without
+        # side effects): publish telemetry exactly once per sweep.
+        if isinstance(state.span, Span):
+            # Candidates replayed from the parent's cache never reached a
+            # worker, so no span was recorded for them; synthesize their
+            # zero-duration probe events under this sweep's span.
+            for index in committed_cached:
+                result = state.results[index]
+                note = Span(
+                    "probe",
+                    {
+                        "collective": request.collective,
+                        "C": state.candidates[index][1],
+                        "S": request.steps,
+                        "R": state.candidates[index][0],
+                        "verdict": result.status.value,
+                        "cache_hit": True,
+                        "backend": result.backend,
+                    },
+                )
+                note._open = False
+                state.span.children.append(note)
+        _publish_bounds_metrics(outcome.stats)
         return outcome
 
 

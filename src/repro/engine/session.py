@@ -38,6 +38,7 @@ from typing import Dict, List, Optional
 from ..core.encoding import PrefixAnalysis, ScclEncoding
 from ..core.instance import SynCollInstance, make_instance
 from ..solver import SolveResult
+from ..telemetry import get_metrics, get_tracer
 from ..topology import Topology
 from .backends import SolverBackend, SolverHandle, get_backend
 
@@ -93,13 +94,17 @@ class IncrementalSession:
     def _ensure_encoded(self) -> None:
         if self._encoder is not None:
             return
-        start = time.monotonic()
-        encoder = ScclEncoding(
-            self._budget_instance, prune=self.prune, rounds_budget=self.max_rounds
-        )
-        ctx = encoder.encode()
-        self.encode_time = time.monotonic() - start
+        with get_tracer().span(
+            "encode", S=self.steps, C=self.chunks_per_node, R=self.max_rounds
+        ):
+            start = time.monotonic()
+            encoder = ScclEncoding(
+                self._budget_instance, prune=self.prune, rounds_budget=self.max_rounds
+            )
+            ctx = encoder.encode()
+            self.encode_time = time.monotonic() - start
         self.encode_calls += 1
+        get_metrics().observe("repro_encode_seconds", self.encode_time)
         handle = self._backend.create()
         if not handle.load(ctx.cnf):
             self._trivially_unsat = True
@@ -130,55 +135,74 @@ class IncrementalSession:
             self.collective, self.topology, self.chunks_per_node,
             self.steps, rounds, root=self.root,
         )
-        first_solve = self._encoder is None
-        self._ensure_encoded()
-        assert self._encoder is not None and self._handle is not None
-        # Mirror the serial path's accounting: the one-time encoding cost is
-        # attributed to the probe that paid it.
-        encode_time = self.encode_time if first_solve else 0.0
-
-        if self._trivially_unsat:
-            status = SolveResult.UNSAT
-            solve_time = 0.0
-            solver_stats: Dict[str, float] = {}
-        else:
-            assumptions = self._encoder.rounds_assumptions(rounds)
-            start = time.monotonic()
-            status = self._handle.solve(
-                assumptions, conflict_limit=conflict_limit, time_limit=time_limit
-            )
-            solve_time = time.monotonic() - start
-            solver_stats = self._delta_stats(self._handle.stats())
-        self.solver_calls += 1
-
-        result = SynthesisResult(
-            instance=instance,
-            status=status,
-            encode_time=encode_time,
-            solve_time=solve_time,
-            encoding_stats=self._encoder.stats.as_dict(),
-            solver_stats=solver_stats,
+        tracer = get_tracer()
+        with tracer.span(
+            "probe",
+            collective=self.collective,
+            C=self.chunks_per_node,
+            S=self.steps,
+            R=rounds,
             encoding="sccl",
             backend=self.backend_name,
-        )
-        if status is SolveResult.SAT:
-            algorithm = self._encoder.decode(self._handle.model(), name=name)
-            if verify:
-                start = time.monotonic()
-                try:
-                    algorithm.verify()
-                except Exception as exc:  # pragma: no cover - encoder bug guard
+        ) as probe_span:
+            first_solve = self._encoder is None
+            self._ensure_encoded()
+            assert self._encoder is not None and self._handle is not None
+            # Mirror the serial path's accounting: the one-time encoding cost
+            # is attributed to the probe that paid it.
+            encode_time = self.encode_time if first_solve else 0.0
+
+            if self._trivially_unsat:
+                status = SolveResult.UNSAT
+                solve_time = 0.0
+                solver_stats: Dict[str, float] = {}
+            else:
+                assumptions = self._encoder.rounds_assumptions(rounds)
+                with tracer.span("solve", backend=self.backend_name):
+                    start = time.monotonic()
+                    status = self._handle.solve(
+                        assumptions, conflict_limit=conflict_limit,
+                        time_limit=time_limit,
+                    )
+                    solve_time = time.monotonic() - start
+                solver_stats = self._delta_stats(self._handle.stats())
+            self.solver_calls += 1
+            metrics = get_metrics()
+            metrics.inc("repro_solver_calls_total", backend=self.backend_name)
+            metrics.observe(
+                "repro_solve_seconds", solve_time, backend=self.backend_name
+            )
+            probe_span.set(verdict=status.value, cache_hit=False)
+
+            result = SynthesisResult(
+                instance=instance,
+                status=status,
+                encode_time=encode_time,
+                solve_time=solve_time,
+                encoding_stats=self._encoder.stats.as_dict(),
+                solver_stats=solver_stats,
+                encoding="sccl",
+                backend=self.backend_name,
+            )
+            if status is SolveResult.SAT:
+                algorithm = self._encoder.decode(self._handle.model(), name=name)
+                if verify:
+                    with tracer.span("verify"):
+                        start = time.monotonic()
+                        try:
+                            algorithm.verify()
+                        except Exception as exc:  # pragma: no cover - encoder bug guard
+                            raise SynthesisError(
+                                f"decoded algorithm fails verification: {exc}"
+                            ) from exc
+                        result.verify_time = time.monotonic() - start
+                if algorithm.total_rounds != rounds:  # pragma: no cover - selector guard
                     raise SynthesisError(
-                        f"decoded algorithm fails verification: {exc}"
-                    ) from exc
-                result.verify_time = time.monotonic() - start
-            if algorithm.total_rounds != rounds:  # pragma: no cover - selector guard
-                raise SynthesisError(
-                    f"rounds selector leak: asked for {rounds} rounds, decoded "
-                    f"{algorithm.total_rounds}"
-                )
-            result.algorithm = algorithm
-        return result
+                        f"rounds selector leak: asked for {rounds} rounds, decoded "
+                        f"{algorithm.total_rounds}"
+                    )
+                result.algorithm = algorithm
+            return result
 
     def _delta_stats(self, raw: Dict[str, float]) -> Dict[str, float]:
         """Per-probe solver statistics.
@@ -274,18 +298,20 @@ class SessionFamily:
         )
 
     def _build_entry(self, steps: int, chunks: int, rounds: int) -> _FamilyEntry:
-        start = time.monotonic()
-        encoder = ScclEncoding(
-            self._budget_instance(steps, chunks, rounds),
-            prune=self.prune,
-            rounds_budget=rounds,
-            chunk_selector=True,
-            analysis=self._analysis,
-        )
-        ctx = encoder.encode()
-        elapsed = time.monotonic() - start
+        with get_tracer().span("encode", S=steps, C=chunks, R=rounds, family=True):
+            start = time.monotonic()
+            encoder = ScclEncoding(
+                self._budget_instance(steps, chunks, rounds),
+                prune=self.prune,
+                rounds_budget=rounds,
+                chunk_selector=True,
+                analysis=self._analysis,
+            )
+            ctx = encoder.encode()
+            elapsed = time.monotonic() - start
         self.encode_time += elapsed
         self.encode_calls += 1
+        get_metrics().observe("repro_encode_seconds", elapsed)
         handle = self._backend.create()
         loaded = handle.load(ctx.cnf)
         entry = _FamilyEntry(
@@ -310,18 +336,24 @@ class SessionFamily:
             # Round domains are fixed at creation; rebuild this step count
             # at the larger budget (the analysis prefix is still shared).
             self.rebuilds += 1
+            get_metrics().inc("repro_family_rebuilds_total")
             return self._build_entry(
                 steps, max(want_chunks, entry.chunks_budget), want_rounds
             )
         if want_chunks > entry.chunks_budget:
-            start = time.monotonic()
-            ctx = entry.encoder.extend_chunks(
-                self._budget_instance(steps, want_chunks, entry.rounds_budget)
-            )
-            elapsed = time.monotonic() - start
+            with get_tracer().span(
+                "extend", S=steps, C=want_chunks, family=True
+            ):
+                start = time.monotonic()
+                ctx = entry.encoder.extend_chunks(
+                    self._budget_instance(steps, want_chunks, entry.rounds_budget)
+                )
+                elapsed = time.monotonic() - start
             self.encode_time += elapsed
             self.encode_calls += 1
             self.extensions += 1
+            get_metrics().inc("repro_family_extensions_total")
+            get_metrics().observe("repro_encode_seconds", elapsed)
             # The formula grew: reload a fresh handle (learned clauses from
             # the smaller prefix are dropped, the encoding work is kept).
             handle = self._backend.create()
@@ -357,64 +389,84 @@ class SessionFamily:
         if chunks < 1:
             raise SessionError(f"chunk count must be positive, got {chunks}")
         instance = self._budget_instance(steps, chunks, rounds)
-        entry = self._entry_for(steps, chunks, rounds, max_chunks, max_rounds)
-        encode_time, entry.pending_encode_time = entry.pending_encode_time, 0.0
-
-        if entry.trivially_unsat:
-            status = SolveResult.UNSAT
-            solve_time = 0.0
-            solver_stats: Dict[str, float] = {}
-        else:
-            assumptions = entry.encoder.frame_assumptions(chunks, rounds)
-            start = time.monotonic()
-            status = entry.handle.solve(
-                assumptions, conflict_limit=conflict_limit, time_limit=time_limit
-            )
-            solve_time = time.monotonic() - start
-            raw = entry.handle.stats()
-            watermarks = {"max_decision_level"}
-            solver_stats = {
-                key: value if key in watermarks else value - entry.prev_stats.get(key, 0)
-                for key, value in raw.items()
-            }
-            entry.prev_stats = dict(raw)
-        self.solver_calls += 1
-
-        result = SynthesisResult(
-            instance=instance,
-            status=status,
-            encode_time=encode_time,
-            solve_time=solve_time,
-            encoding_stats=entry.encoder.stats.as_dict(),
-            solver_stats=solver_stats,
+        tracer = get_tracer()
+        probe_ctx = tracer.span(
+            "probe",
+            collective=self.collective,
+            C=chunks,
+            S=steps,
+            R=rounds,
             encoding="sccl",
             backend=self.backend_name,
         )
-        if status is SolveResult.SAT:
-            algorithm = entry.encoder.decode(
-                entry.handle.model(), name=name, instance=instance
+        with probe_ctx as probe_span:
+            entry = self._entry_for(steps, chunks, rounds, max_chunks, max_rounds)
+            encode_time, entry.pending_encode_time = entry.pending_encode_time, 0.0
+
+            if entry.trivially_unsat:
+                status = SolveResult.UNSAT
+                solve_time = 0.0
+                solver_stats: Dict[str, float] = {}
+            else:
+                assumptions = entry.encoder.frame_assumptions(chunks, rounds)
+                with tracer.span("solve", backend=self.backend_name):
+                    start = time.monotonic()
+                    status = entry.handle.solve(
+                        assumptions, conflict_limit=conflict_limit,
+                        time_limit=time_limit,
+                    )
+                    solve_time = time.monotonic() - start
+                raw = entry.handle.stats()
+                watermarks = {"max_decision_level"}
+                solver_stats = {
+                    key: value if key in watermarks else value - entry.prev_stats.get(key, 0)
+                    for key, value in raw.items()
+                }
+                entry.prev_stats = dict(raw)
+            self.solver_calls += 1
+            metrics = get_metrics()
+            metrics.inc("repro_solver_calls_total", backend=self.backend_name)
+            metrics.observe(
+                "repro_solve_seconds", solve_time, backend=self.backend_name
             )
-            if verify:
-                start = time.monotonic()
-                try:
-                    algorithm.verify()
-                except Exception as exc:  # pragma: no cover - encoder bug guard
+            probe_span.set(verdict=status.value, cache_hit=False)
+
+            result = SynthesisResult(
+                instance=instance,
+                status=status,
+                encode_time=encode_time,
+                solve_time=solve_time,
+                encoding_stats=entry.encoder.stats.as_dict(),
+                solver_stats=solver_stats,
+                encoding="sccl",
+                backend=self.backend_name,
+            )
+            if status is SolveResult.SAT:
+                algorithm = entry.encoder.decode(
+                    entry.handle.model(), name=name, instance=instance
+                )
+                if verify:
+                    with tracer.span("verify"):
+                        start = time.monotonic()
+                        try:
+                            algorithm.verify()
+                        except Exception as exc:  # pragma: no cover - encoder bug guard
+                            raise SynthesisError(
+                                f"decoded algorithm fails verification: {exc}"
+                            ) from exc
+                        result.verify_time = time.monotonic() - start
+                if algorithm.total_rounds != rounds:  # pragma: no cover - selector guard
                     raise SynthesisError(
-                        f"decoded algorithm fails verification: {exc}"
-                    ) from exc
-                result.verify_time = time.monotonic() - start
-            if algorithm.total_rounds != rounds:  # pragma: no cover - selector guard
-                raise SynthesisError(
-                    f"rounds selector leak: asked for {rounds} rounds, decoded "
-                    f"{algorithm.total_rounds}"
-                )
-            if algorithm.num_chunks != instance.num_chunks:  # pragma: no cover
-                raise SynthesisError(
-                    f"chunk selector leak: asked for {instance.num_chunks} chunks, "
-                    f"decoded {algorithm.num_chunks}"
-                )
-            result.algorithm = algorithm
-        return result
+                        f"rounds selector leak: asked for {rounds} rounds, decoded "
+                        f"{algorithm.total_rounds}"
+                    )
+                if algorithm.num_chunks != instance.num_chunks:  # pragma: no cover
+                    raise SynthesisError(
+                        f"chunk selector leak: asked for {instance.num_chunks} chunks, "
+                        f"decoded {algorithm.num_chunks}"
+                    )
+                result.algorithm = algorithm
+            return result
 
     # ------------------------------------------------------------------
     # Introspection

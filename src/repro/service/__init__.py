@@ -41,6 +41,8 @@ from .server import (
     PlanningHTTPServer,
     ServerThread,
     check_health,
+    fetch_metrics,
+    fetch_stats,
     make_server,
     request_fault,
     request_plan,
@@ -85,6 +87,8 @@ __all__ = [
     "baseline_algorithm",
     "build_routing_table",
     "check_health",
+    "fetch_metrics",
+    "fetch_stats",
     "default_registry",
     "make_server",
     "request_fault",

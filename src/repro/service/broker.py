@@ -29,6 +29,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 
+from ..telemetry import get_metrics
 from .api import PlanRequest, PlanResponse, ServiceError
 
 #: Server-side ceiling on deadline-less waits.  A ticket whose request has
@@ -43,7 +44,15 @@ class BrokerError(ServiceError):
 
 @dataclass
 class BrokerStats:
-    """Monotonic counters; read via :meth:`Broker.stats`."""
+    """Monotonic counters; read via :meth:`Broker.stats`.
+
+    Counters accumulate for the life of the *broker object*, which may
+    span several :class:`~repro.service.workers.PlanningService` start /
+    stop cycles — a restart must not silently zero the series a scraper
+    is watching.  ``since`` (wall epoch) dates the window the counters
+    cover; :meth:`reset` zeroes them and restamps it, for tests and for
+    operators who want a fresh window.
+    """
 
     submitted: int = 0
     coalesced: int = 0
@@ -53,6 +62,20 @@ class BrokerStats:
     expired: int = 0        # tickets that gave up waiting (deadline)
     dropped_jobs: int = 0   # queued jobs abandoned by all their waiters
     resolver_crashes: int = 0  # jobs failed by a resolver exception
+    since: float = field(default_factory=time.time)
+    since_monotonic: float = field(default_factory=time.monotonic)
+
+    def reset(self) -> None:
+        self.submitted = 0
+        self.coalesced = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.expired = 0
+        self.dropped_jobs = 0
+        self.resolver_crashes = 0
+        self.since = time.time()
+        self.since_monotonic = time.monotonic()
 
     def as_dict(self) -> Dict[str, float]:
         data = {
@@ -64,6 +87,8 @@ class BrokerStats:
             "expired": self.expired,
             "dropped_jobs": self.dropped_jobs,
             "resolver_crashes": self.resolver_crashes,
+            "since": self.since,
+            "uptime_s": time.monotonic() - self.since_monotonic,
         }
         data["coalescing_ratio"] = (
             self.coalesced / self.submitted if self.submitted else 0.0
@@ -145,6 +170,7 @@ class Ticket:
                 return self._response
             self._detach_locked()
             self._broker._stats.expired += 1
+        get_metrics().inc("repro_broker_tickets_total", outcome="expired")
         return PlanResponse(
             status="timeout",
             request_key=self.key,
@@ -160,6 +186,7 @@ class Ticket:
                 return False
             self._detach_locked()
             self._broker._stats.cancelled += 1
+            get_metrics().inc("repro_broker_tickets_total", outcome="cancelled")
             self._response = PlanResponse(
                 status="cancelled",
                 request_key=self.key,
@@ -191,6 +218,7 @@ class Ticket:
                 time.monotonic() - self.submitted_at, coalesced=self.coalesced
             )
             self._event.set()
+            get_metrics().inc("repro_broker_tickets_total", outcome="resolved")
 
 
 class Broker:
@@ -236,6 +264,7 @@ class Broker:
                 ticket = Ticket(self, job, request, coalesced=True)
                 job.tickets.append(ticket)
                 self._stats.coalesced += 1
+                get_metrics().inc("repro_broker_requests_total", outcome="coalesced")
                 return ticket
             if self.max_pending is not None and len(self._queue) >= self.max_pending:
                 raise BrokerError(
@@ -246,6 +275,9 @@ class Broker:
             job.tickets.append(ticket)
             self._inflight[key] = job
             self._queue.append(job)
+            metrics = get_metrics()
+            metrics.inc("repro_broker_requests_total", outcome="enqueued")
+            metrics.set_gauge("repro_broker_queue_depth", float(len(self._queue)))
             self._available.notify()
             return ticket
 
@@ -260,6 +292,9 @@ class Broker:
             while True:
                 while self._queue:
                     job = self._queue.popleft()
+                    get_metrics().set_gauge(
+                        "repro_broker_queue_depth", float(len(self._queue))
+                    )
                     if job.dropped:
                         continue
                     job.started = True
@@ -279,8 +314,10 @@ class Broker:
             job.tickets.clear()
             if response.status == "ok":
                 self._stats.completed += 1
+                get_metrics().inc("repro_broker_jobs_total", outcome="completed")
             else:
                 self._stats.failed += 1
+                get_metrics().inc("repro_broker_jobs_total", outcome="failed")
         for ticket in waiters:
             ticket._resolve(response)
 
@@ -294,6 +331,7 @@ class Broker:
         """
         with self._lock:
             self._stats.resolver_crashes += 1
+        get_metrics().inc("repro_broker_resolver_crashes_total")
         self.complete(
             job,
             PlanResponse(
@@ -321,3 +359,8 @@ class Broker:
             data["pending"] = sum(1 for job in self._queue if not job.dropped)
             data["inflight"] = len(self._inflight)
             return data
+
+    def reset_stats(self) -> None:
+        """Zero the counters and restart their ``since`` window (tests)."""
+        with self._lock:
+            self._stats.reset()

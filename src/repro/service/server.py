@@ -12,6 +12,10 @@ One POST endpoint does the planning; two GETs make the service operable:
 ``GET /v1/stats``
     Broker / registry / resolver counters (requests, coalescing ratio,
     cache hit rate) — the numbers the throughput benchmark records.
+``GET /v1/metrics``
+    The process-wide :mod:`repro.telemetry` registry in Prometheus text
+    exposition format (``repro_solver_calls_total``,
+    ``repro_broker_requests_total``, ...) — point a scraper at it.
 
 Everything is standard library (``http.server`` + ``urllib``): the
 container bakes no web framework, and a ThreadingHTTPServer in front of
@@ -29,6 +33,7 @@ import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
+from ..telemetry import get_metrics
 from .api import (
     DEFAULT_DEADLINE_S,
     FaultRequest,
@@ -67,6 +72,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(200, {"status": "ok"})
         elif self.path == "/v1/stats":
             self._send(200, self.server.service.stats())
+        elif self.path == "/v1/metrics":
+            self._send_text(
+                200, get_metrics().render_prometheus(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
         else:
             self._send(404, {"error": f"no such endpoint {self.path!r}"})
 
@@ -111,6 +121,14 @@ class _Handler(BaseHTTPRequestHandler):
         blob = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _send_text(self, status: int, text: str, *, content_type: str) -> None:
+        blob = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(blob)))
         self.end_headers()
         self.wfile.write(blob)
@@ -222,6 +240,26 @@ def request_fault(
     except (urllib.error.URLError, OSError) as exc:
         raise ServiceError(f"cannot reach planning service at {url}: {exc}") from exc
     return FaultResponse.from_json(payload)
+
+
+def fetch_stats(url: str, *, timeout: float = 10.0) -> dict:
+    """GET ``/v1/stats`` from a running service (``repro request --stats``)."""
+    endpoint = url.rstrip("/") + "/v1/stats"
+    try:
+        with urllib.request.urlopen(endpoint, timeout=timeout) as reply:
+            return json.loads(reply.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        raise ServiceError(f"cannot fetch stats from {url}: {exc}") from exc
+
+
+def fetch_metrics(url: str, *, timeout: float = 10.0) -> str:
+    """GET the Prometheus text exposition from ``/v1/metrics``."""
+    endpoint = url.rstrip("/") + "/v1/metrics"
+    try:
+        with urllib.request.urlopen(endpoint, timeout=timeout) as reply:
+            return reply.read().decode("utf-8")
+    except (urllib.error.URLError, OSError) as exc:
+        raise ServiceError(f"cannot fetch metrics from {url}: {exc}") from exc
 
 
 def check_health(url: str, *, timeout: float = 2.0) -> bool:

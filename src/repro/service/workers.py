@@ -34,6 +34,7 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional
 
+from ..telemetry import get_metrics
 from .api import (
     DEFAULT_DEADLINE_S,
     FaultRequest,
@@ -155,6 +156,10 @@ class SynthesisResolver:
         self.replans = 0          # resolutions that targeted a degraded topology
         self.solves = 0           # backend solves performed (not replayed)
         self.registry_hits = 0    # answers served with zero solver work
+        # Which rung of the ladder answered: cache / registry / synthesized
+        # / baseline / error.  Mirrors repro_resolver_rung_total{rung=...}.
+        self.rungs: Dict[str, int] = {}
+        self.since = time.time()
         self._lock = threading.Lock()
         # The broker coalesces on the full request key, which for routed
         # requests includes the size — but routed requests for *different*
@@ -171,6 +176,12 @@ class SynthesisResolver:
         if request.mode == "pinned":
             return self._resolve_pinned(request, remaining_s, topology)
         return self._resolve_routed(request, remaining_s, topology)
+
+    def _rung(self, rung: str) -> None:
+        """Record which ladder rung produced the answer."""
+        with self._lock:
+            self.rungs[rung] = self.rungs.get(rung, 0) + 1
+        get_metrics().inc("repro_resolver_rung_total", rung=rung)
 
     def _effective_topology(self, request: PlanRequest):
         """The topology this resolution must target (degraded under faults)."""
@@ -197,6 +208,7 @@ class SynthesisResolver:
         if plan is not None:
             with self._lock:
                 self.registry_hits += 1
+            self._rung("cache")
             return PlanResponse(
                 status="ok",
                 request_key=key,
@@ -215,6 +227,7 @@ class SynthesisResolver:
                 root=request.root,
             )
         except Exception as exc:
+            self._rung("error")
             return PlanResponse(
                 status="error", request_key=key, error=str(exc),
                 solve_time_s=time.monotonic() - started,
@@ -231,6 +244,7 @@ class SynthesisResolver:
             cache=self.registry.cache,
         )
         if result.is_sat:
+            self._rung("cache" if result.cache_hit else "synthesized")
             return PlanResponse(
                 status="ok",
                 request_key=key,
@@ -239,6 +253,7 @@ class SynthesisResolver:
                 solve_time_s=time.monotonic() - started,
             )
         if result.is_unsat:
+            self._rung("error")
             return PlanResponse(
                 status="error",
                 request_key=key,
@@ -246,6 +261,7 @@ class SynthesisResolver:
                 solve_time_s=time.monotonic() - started,
             )
         # UNKNOWN: the solver hit the deadline; degrade to a baseline.
+        self._rung("baseline")
         return _baseline_response(
             request, key, reason="solver deadline exceeded", started=started,
             topology=topology,
@@ -263,6 +279,7 @@ class SynthesisResolver:
             plan, entry, table = routed
             with self._lock:
                 self.registry_hits += 1
+            self._rung("registry")
             return PlanResponse(
                 status="ok",
                 request_key=key,
@@ -282,6 +299,7 @@ class SynthesisResolver:
                 plan, entry, table = routed
                 with self._lock:
                     self.registry_hits += 1
+                self._rung("registry")
                 return PlanResponse(
                     status="ok",
                     request_key=key,
@@ -293,11 +311,13 @@ class SynthesisResolver:
             try:
                 table = self._build_table(request, remaining_s, topology)
             except Exception as exc:
+                self._rung("error")
                 return PlanResponse(
                     status="error", request_key=key, error=str(exc),
                     solve_time_s=time.monotonic() - started,
                 )
             if table is None:
+                self._rung("baseline")
                 return _baseline_response(
                     request, key,
                     reason="frontier synthesis exceeded the deadline",
@@ -307,10 +327,12 @@ class SynthesisResolver:
             self.registry.install_table(request, table, topology=topology)
         entry = table.route(float(request.size_bytes))
         if entry is None:  # pragma: no cover - tables tile [0, inf)
+            self._rung("baseline")
             return _baseline_response(
                 request, key, reason="no routing entry", started=started,
                 topology=topology,
             )
+        self._rung("synthesized")
         return PlanResponse(
             status="ok",
             request_key=key,
@@ -365,13 +387,24 @@ class SynthesisResolver:
             synchrony=request.synchrony,
         )
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, object]:
         with self._lock:
             return {
                 "solves": self.solves,
                 "registry_hits": self.registry_hits,
                 "replans": self.replans,
+                "rungs": dict(self.rungs),
+                "since": self.since,
             }
+
+    def reset(self) -> None:
+        """Zero the counters and restart their ``since`` window (tests)."""
+        with self._lock:
+            self.replans = 0
+            self.solves = 0
+            self.registry_hits = 0
+            self.rungs.clear()
+            self.since = time.time()
 
 
 def _clamp_limit(remaining_s: Optional[float]) -> Optional[float]:
@@ -557,4 +590,40 @@ class PlanningService:
         data["workers"] = self.pool.num_workers
         data["faults"] = self.fault_board.snapshot()
         data["quarantine"] = get_quarantine().stats()
+        data["engine"] = self._engine_stats()
         return data
+
+    def _engine_stats(self) -> Dict[str, object]:
+        """Engine-side counters for ``/v1/stats``: bounds work + cache rate."""
+        metrics = get_metrics()
+        cache_stats = self.registry.cache.stats()
+        lookups = cache_stats.get("hits", 0) + cache_stats.get("misses", 0)
+        return {
+            "bounds": {
+                "probed": int(
+                    metrics.total("repro_bounds_candidates_total", action="probed")
+                ),
+                "pruned": int(
+                    metrics.total("repro_bounds_candidates_total", action="pruned")
+                ),
+                "cut": int(
+                    metrics.total("repro_bounds_candidates_total", action="cut")
+                ),
+            },
+            "cache": dict(
+                cache_stats,
+                hit_rate=(cache_stats.get("hits", 0) / lookups) if lookups else 0.0,
+            ),
+        }
+
+    def reset_stats(self) -> None:
+        """Zero broker + resolver counters; explicit only, never on start.
+
+        Counters deliberately survive :meth:`stop`/:meth:`start` cycles
+        (scrapers must not see a restart as a counter reset); tests call
+        this to get a clean window, and the snapshots' ``since`` fields
+        date whatever window is being reported.
+        """
+        self.broker.reset_stats()
+        if hasattr(self.resolver, "reset"):
+            self.resolver.reset()

@@ -1,0 +1,59 @@
+"""Telemetry: span tracing, a metrics registry, and their export paths.
+
+Three pieces, all stdlib-only:
+
+* :mod:`~repro.telemetry.tracer` — nested :class:`Span` trees recorded by a
+  :class:`Tracer`; pool workers export spans as dicts and the dispatching
+  sweep span re-parents them with :meth:`Span.adopt`.  Chrome trace-event
+  JSON export for Perfetto.  Disabled by default via a shared no-op tracer.
+* :mod:`~repro.telemetry.metrics` — counters / gauges / histograms with
+  label sets and Prometheus text exposition (served at ``/v1/metrics``).
+* :mod:`~repro.telemetry.logbridge` — one JSONL record per finished span
+  through the stdlib ``logging`` module.
+"""
+
+from .logbridge import SpanLogBridge, jsonl_logging, log_metrics_snapshot
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Metrics,
+    MetricsError,
+    get_metrics,
+    set_metrics,
+)
+from .tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    iter_spans,
+    set_tracer,
+    span_coverage,
+    spans_to_chrome_trace,
+    summarize_chrome_trace,
+    tracing,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Metrics",
+    "MetricsError",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanLogBridge",
+    "Tracer",
+    "get_metrics",
+    "get_tracer",
+    "iter_spans",
+    "jsonl_logging",
+    "log_metrics_snapshot",
+    "set_metrics",
+    "set_tracer",
+    "span_coverage",
+    "spans_to_chrome_trace",
+    "summarize_chrome_trace",
+    "tracing",
+]

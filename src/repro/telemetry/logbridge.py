@@ -1,0 +1,107 @@
+"""Structured-JSONL export through the stdlib ``logging`` module.
+
+:class:`SpanLogBridge` subscribes to a recording :class:`~.tracer.Tracer`
+and emits one JSON object per *finished* span on the
+``repro.telemetry`` logger, so any stdlib handler — a ``FileHandler``
+for JSONL files, a ``SysLogHandler``, an aggregator's socket handler —
+receives the same span stream the Chrome trace is built from::
+
+    tracer = Tracer()
+    with jsonl_logging("/tmp/spans.jsonl", tracer):
+        with tracing(tracer):
+            pareto_synthesize(...)
+
+Each line is a flat record (no children — every span gets its own line)
+tagged ``"event": "span"``; :func:`log_metrics_snapshot` appends one
+``"event": "metrics"`` line with the registry snapshot, so a JSONL file
+can carry a complete run digest.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .metrics import Metrics, get_metrics
+from .tracer import Span, Tracer
+
+LOGGER_NAME = "repro.telemetry"
+
+
+def get_logger() -> logging.Logger:
+    return logging.getLogger(LOGGER_NAME)
+
+
+def _span_record(span: Span) -> dict:
+    return {
+        "event": "span",
+        "name": span.name,
+        "start_s": span.start_s,
+        "duration_s": span.duration_s,
+        "pid": span.pid,
+        "tid": span.tid,
+        "attrs": {k: v if isinstance(v, (str, int, float, bool)) or v is None else str(v)
+                  for k, v in span.attrs.items()},
+    }
+
+
+class SpanLogBridge:
+    """Forward every finished span of one tracer to the stdlib logger."""
+
+    def __init__(self, tracer: Tracer, *, logger: Optional[logging.Logger] = None) -> None:
+        self.tracer = tracer
+        self.logger = logger if logger is not None else get_logger()
+        self._installed = False
+
+    def install(self) -> "SpanLogBridge":
+        if not self._installed:
+            self.tracer.add_listener(self._emit)
+            self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if self._installed:
+            self.tracer.remove_listener(self._emit)
+            self._installed = False
+
+    def _emit(self, span: Span) -> None:
+        # One line per span; children are emitted by their own finish events.
+        self.logger.info("%s", json.dumps(_span_record(span), sort_keys=True))
+
+    def __enter__(self) -> "SpanLogBridge":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+
+def log_metrics_snapshot(metrics: Optional[Metrics] = None,
+                         logger: Optional[logging.Logger] = None) -> None:
+    """Append one ``"event": "metrics"`` JSONL record with the registry dump."""
+    metrics = metrics if metrics is not None else get_metrics()
+    logger = logger if logger is not None else get_logger()
+    record = {"event": "metrics"}
+    record.update(metrics.snapshot())
+    logger.info("%s", json.dumps(record, sort_keys=True))
+
+
+@contextmanager
+def jsonl_logging(path, tracer: Tracer) -> Iterator[SpanLogBridge]:
+    """Bridge ``tracer`` to a JSONL file for the duration of the block."""
+    logger = get_logger()
+    handler = logging.FileHandler(path, encoding="utf-8")
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    previous_level = logger.level
+    logger.addHandler(handler)
+    logger.setLevel(logging.INFO)
+    bridge = SpanLogBridge(tracer, logger=logger)
+    bridge.install()
+    try:
+        yield bridge
+    finally:
+        bridge.uninstall()
+        logger.removeHandler(handler)
+        logger.setLevel(previous_level)
+        handler.close()

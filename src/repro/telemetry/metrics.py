@@ -1,0 +1,251 @@
+"""Label-aware metrics registry with Prometheus text exposition.
+
+One process-wide :class:`Metrics` instance collects counters, gauges and
+histograms from the engine (solver calls, cache lookups, bounds actions)
+and the service (broker queue, resolver rungs, fault invalidations).  All
+mutation goes through three calls::
+
+    get_metrics().inc("repro_solver_calls_total", backend="cdcl")
+    get_metrics().set_gauge("repro_broker_queue_depth", depth)
+    get_metrics().observe("repro_solve_seconds", dt, backend="cdcl")
+
+Series are keyed on ``(name, sorted label items)`` and rendered in the
+Prometheus text-exposition format by :meth:`Metrics.render_prometheus`
+(served at ``/v1/metrics``).  Everything is stdlib + one lock; increments
+are cheap enough to stay enabled even when tracing is off.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+SeriesKey = Tuple[str, LabelKey]
+
+#: Default histogram bucket upper bounds (seconds-oriented).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class MetricsError(Exception):
+    """Raised when one metric name is used as two different types."""
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: LabelKey, extra: Optional[Tuple[str, str]] = None) -> str:
+    items = list(labels)
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    rendered = ",".join(
+        '{}="{}"'.format(k, v.replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in items
+    )
+    return "{" + rendered + "}"
+
+
+class _Histogram:
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        self.buckets = buckets
+        self.counts = [0] * len(buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+
+
+class Metrics:
+    """Thread-safe registry of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[SeriesKey, float] = {}
+        self._gauges: Dict[SeriesKey, float] = {}
+        self._histograms: Dict[SeriesKey, _Histogram] = {}
+        self._types: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
+        self.since = time.time()
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def _check_type(self, name: str, kind: str) -> None:
+        seen = self._types.get(name)
+        if seen is None:
+            self._types[name] = kind
+        elif seen != kind:
+            raise MetricsError(
+                f"metric {name!r} already registered as {seen}, not {kind}"
+            )
+
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._check_type(name, "counter")
+            self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._check_type(name, "gauge")
+            self._gauges[key] = float(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._check_type(name, "histogram")
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = _Histogram(DEFAULT_BUCKETS)
+            hist.observe(float(value))
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a ``# HELP`` line to a metric name."""
+        with self._lock:
+            self._help[name] = help_text
+
+    def reset(self) -> None:
+        """Drop every series and restart the ``since`` epoch (tests)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._types.clear()
+            self.since = time.time()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def value(self, name: str, **labels) -> float:
+        """One series' current value (0.0 when it does not exist)."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            if key in self._counters:
+                return self._counters[key]
+            if key in self._gauges:
+                return self._gauges[key]
+            hist = self._histograms.get(key)
+            return hist.sum if hist is not None else 0.0
+
+    def total(self, name: str, **match) -> float:
+        """Sum of all ``name`` series whose labels include ``match``."""
+        wanted = set(_label_key(match))
+        total = 0.0
+        with self._lock:
+            for store in (self._counters, self._gauges):
+                for (series, labels), value in store.items():
+                    if series == name and wanted <= set(labels):
+                        total += value
+            for (series, labels), hist in self._histograms.items():
+                if series == name and wanted <= set(labels):
+                    total += hist.sum
+        return total
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly dump of every series (tests and BENCH artifacts)."""
+        with self._lock:
+            return {
+                "since": self.since,
+                "counters": {
+                    f"{name}{_render_labels(labels)}": value
+                    for (name, labels), value in sorted(self._counters.items())
+                },
+                "gauges": {
+                    f"{name}{_render_labels(labels)}": value
+                    for (name, labels), value in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    f"{name}{_render_labels(labels)}": {
+                        "count": hist.count,
+                        "sum": hist.sum,
+                    }
+                    for (name, labels), hist in sorted(self._histograms.items())
+                },
+            }
+
+    # ------------------------------------------------------------------
+    # Prometheus text exposition
+    # ------------------------------------------------------------------
+    def render_prometheus(self) -> str:
+        """The ``text/plain; version=0.0.4`` exposition body."""
+        with self._lock:
+            lines: List[str] = []
+            by_name: Dict[str, List[Tuple[LabelKey, object]]] = {}
+            for (name, labels), value in self._counters.items():
+                by_name.setdefault(name, []).append((labels, value))
+            for (name, labels), value in self._gauges.items():
+                by_name.setdefault(name, []).append((labels, value))
+            for (name, labels), hist in self._histograms.items():
+                by_name.setdefault(name, []).append((labels, hist))
+            for name in sorted(by_name):
+                kind = self._types.get(name, "untyped")
+                if name in self._help:
+                    lines.append(f"# HELP {name} {self._help[name]}")
+                lines.append(f"# TYPE {name} {kind}")
+                for labels, value in sorted(by_name[name]):
+                    if isinstance(value, _Histogram):
+                        cumulative = 0
+                        for bound, count in zip(value.buckets, value.counts):
+                            cumulative += count
+                            le = _render_labels(labels, ("le", _format(bound)))
+                            lines.append(f"{name}_bucket{le} {cumulative}")
+                        inf = _render_labels(labels, ("le", "+Inf"))
+                        lines.append(f"{name}_bucket{inf} {value.count}")
+                        lines.append(
+                            f"{name}_sum{_render_labels(labels)} {_format(value.sum)}"
+                        )
+                        lines.append(
+                            f"{name}_count{_render_labels(labels)} {value.count}"
+                        )
+                    else:
+                        lines.append(
+                            f"{name}{_render_labels(labels)} {_format(value)}"
+                        )
+            lines.append(
+                f"# TYPE repro_metrics_since_timestamp_seconds gauge"
+            )
+            lines.append(
+                f"repro_metrics_since_timestamp_seconds {_format(self.since)}"
+            )
+            return "\n".join(lines) + "\n"
+
+
+def _format(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+_METRICS = Metrics()
+_METRICS_LOCK = threading.Lock()
+
+
+def get_metrics() -> Metrics:
+    """The process-wide metrics registry."""
+    return _METRICS
+
+
+def set_metrics(metrics: Optional[Metrics]) -> Metrics:
+    """Install a registry (``None`` -> a fresh one); returns the old one."""
+    global _METRICS
+    with _METRICS_LOCK:
+        previous = _METRICS
+        _METRICS = metrics if metrics is not None else Metrics()
+    return previous

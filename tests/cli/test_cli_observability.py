@@ -1,0 +1,97 @@
+"""CLI observability surface: --trace exports, ``repro trace``, and
+``repro request --stats``.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+QUICKSTART = ["Allgather", "-t", "ring:4", "-C", "1", "-S", "2", "-R", "3"]
+
+
+class TestTraceExport:
+    def test_synthesize_trace_writes_chrome_json(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        code = main(
+            ["synthesize", *QUICKSTART, "--no-cache", "-q", "--trace", str(trace)]
+        )
+        assert code == 0
+        assert "wrote Chrome trace" in capsys.readouterr().out
+        payload = json.loads(trace.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"probe", "encode", "solve", "verify"} <= names
+
+    def test_pareto_trace_writes_chrome_json(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        code = main(
+            [
+                "pareto", "Allgather", "-t", "ring:4", "--max-steps", "3",
+                "--no-cache", "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        assert "wrote Chrome trace" in capsys.readouterr().out
+        payload = json.loads(trace.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"pareto", "sweep", "probe"} <= names
+
+    def test_trace_command_summarizes(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main(
+            [
+                "pareto", "Allgather", "-t", "ring:4", "--max-steps", "3",
+                "--no-cache", "--trace", str(trace),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "events across" in out
+        assert "probe" in out and "sweep" in out
+        assert "probe coverage" in out
+
+    def test_trace_command_rejects_bad_input(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "missing.json")]) == 1
+        assert "no such file" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json{")
+        assert main(["trace", str(bad)]) == 1
+        assert "not valid trace JSON" in capsys.readouterr().err
+        array = tmp_path / "array.json"
+        array.write_text("[1, 2]")
+        assert main(["trace", str(array)]) == 1
+        assert "expected a JSON object" in capsys.readouterr().err
+
+
+class TestRequestStats:
+    def test_stats_local_pretty_prints_sections(self, tmp_path, capsys):
+        code = main(
+            [
+                "request", "--stats", "--local",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--routes-dir", str(tmp_path / "routes"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for section in ("broker:", "resolver:", "engine:"):
+            assert section in out
+        assert "coalesced" in out
+        assert "ladder rungs" in out
+        assert "candidates pruned" in out
+        assert "cache hit rate" in out
+
+    def test_request_without_collective_or_stats_errors(self, tmp_path, capsys):
+        assert main(["request", "--cache-dir", str(tmp_path)]) == 1
+        assert "needs a COLLECTIVE" in capsys.readouterr().err
+
+    def test_request_collective_without_topology_errors(self, tmp_path, capsys):
+        assert main(["request", "Allgather", "--cache-dir", str(tmp_path)]) == 1
+        assert "--topology" in capsys.readouterr().err
+
+    def test_stats_against_unreachable_server_fails_cleanly(self, capsys):
+        code = main(["request", "--stats", "--url", "http://127.0.0.1:1"])
+        assert code == 1
+        assert "cannot fetch stats" in capsys.readouterr().err

@@ -1,0 +1,250 @@
+"""End-to-end telemetry tests: the instrumented hot path under every
+dispatcher, metric/stat agreement, worker-span re-parenting, the JSONL
+bridge, and the no-op overhead guard.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core import pareto_synthesize
+from repro.telemetry import (
+    NULL_TRACER,
+    Metrics,
+    Tracer,
+    get_tracer,
+    iter_spans,
+    jsonl_logging,
+    set_metrics,
+    span_coverage,
+    tracing,
+)
+from repro.topology import line, ring
+
+
+def _spans(tracer, name):
+    return [s for s in iter_spans(tracer.roots()) if s.name == name]
+
+
+@pytest.fixture
+def metrics():
+    """A fresh process-global registry, restored afterwards."""
+    fresh = Metrics()
+    previous = set_metrics(fresh)
+    yield fresh
+    set_metrics(previous)
+
+
+# ----------------------------------------------------------------------
+# Serial / incremental: spans mirror the engine's own counters
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("strategy", ["serial", "incremental"])
+def test_sweep_spans_match_engine_stats(strategy, metrics):
+    with tracing() as tracer:
+        frontier = pareto_synthesize(
+            "Allgather", ring(4), k=0, max_steps=4, strategy=strategy
+        )
+    stats = frontier.engine_stats
+
+    (pareto,) = _spans(tracer, "pareto")
+    assert pareto.attrs["strategy"] == strategy
+    assert pareto.attrs["points"] == len(frontier.points)
+    # One sweep span per probed step count, all nested under the pareto span.
+    sweeps = _spans(tracer, "sweep")
+    assert sweeps and all(s.attrs["strategy"] == strategy for s in sweeps)
+    assert {id(c) for c in pareto.children} >= {id(s) for s in sweeps}
+
+    probes = _spans(tracer, "probe")
+    replays = [p for p in probes if p.attrs.get("cache_hit")]
+    assert len(probes) - len(replays) == stats["candidates_probed"]
+    for probe in probes:
+        assert {"collective", "C", "S", "R", "verdict"} <= set(probe.attrs)
+    # Every solver probe carries its phase children.
+    solved = [p for p in probes if not p.attrs.get("cache_hit")]
+    assert all(any(c.name == "solve" for c in p.children) for p in solved)
+
+    # Metric registry and committed stats agree exactly on these paths.
+    assert metrics.total("repro_solver_calls_total") == stats["solver_calls"]
+    assert (
+        metrics.total("repro_bounds_candidates_total", action="probed")
+        == stats["candidates_probed"]
+    )
+    assert (
+        metrics.total("repro_bounds_candidates_total", action="pruned")
+        == stats["probes_pruned"]
+    )
+
+
+# ----------------------------------------------------------------------
+# Parallel: worker spans are re-parented under the dispatching sweep span
+# ----------------------------------------------------------------------
+def test_parallel_worker_spans_reparented(metrics):
+    # bounds="off" keeps every candidate, so multi-candidate sweeps are
+    # guaranteed and the dispatcher cannot fall back to inline solving.
+    with tracing() as tracer:
+        frontier = pareto_synthesize(
+            "Allgather", ring(4), k=0, max_steps=4,
+            strategy="parallel", max_workers=2, bounds="off",
+        )
+    probes = [p for p in _spans(tracer, "probe") if not p.attrs.get("cache_hit")]
+    assert len(probes) == frontier.engine_stats["candidates_probed"]
+    # Probe spans recorded inside pool workers keep their worker pid, and
+    # every one of them hangs off a parent-side sweep span.
+    pool_probes = [p for p in probes if p.pid != os.getpid()]
+    assert pool_probes, "no probe spans came back from pool workers"
+    sweeps = _spans(tracer, "sweep")
+    sweep_children = {id(c) for s in sweeps for c in iter_spans(s.children)}
+    for probe in pool_probes:
+        assert id(probe) in sweep_children
+        assert any(c.name == "solve" for c in probe.children)
+
+
+def test_speculative_sweep_many_spans(metrics):
+    with tracing() as tracer:
+        frontier = pareto_synthesize(
+            "Allgather", ring(4), k=0, max_steps=4,
+            strategy="speculative", max_workers=2,
+        )
+    assert frontier.points
+    batches = _spans(tracer, "sweep_batch")
+    assert batches and batches[0].attrs["strategy"] == "speculative"
+    sweeps = _spans(tracer, "sweep")
+    # Cross-S pipelining keeps one sweep span per step count; exactly the
+    # committed ones are flagged.
+    assert all("committed" in s.attrs for s in sweeps)
+    assert any(s.attrs["committed"] for s in sweeps)
+    committed = [s for s in sweeps if s.attrs["committed"]]
+    for sweep in committed:
+        assert any(c.name == "probe" for c in sweep.children)
+    # Solver-call metrics also count speculative losers (honest work), so
+    # the registry reads >= the committed stats.
+    assert (
+        metrics.total("repro_solver_calls_total")
+        >= frontier.engine_stats["solver_calls"]
+    )
+    assert (
+        metrics.total("repro_bounds_candidates_total", action="probed")
+        == frontier.engine_stats["candidates_probed"]
+    )
+
+
+# ----------------------------------------------------------------------
+# Concurrent sweeps: one registry, no lost increments
+# ----------------------------------------------------------------------
+def test_metrics_under_concurrent_sweeps(metrics):
+    import threading
+
+    threads, stats = 8, [None] * 8
+    barrier = threading.Barrier(threads)
+
+    def work(index):
+        barrier.wait()
+        frontier = pareto_synthesize(
+            "Gather", line(3), k=0, max_steps=4, strategy="serial"
+        )
+        stats[index] = frontier.engine_stats
+
+    workers = [threading.Thread(target=work, args=(i,)) for i in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+
+    assert all(s is not None for s in stats)
+    assert metrics.total("repro_solver_calls_total") == sum(
+        s["solver_calls"] for s in stats
+    )
+    assert metrics.total("repro_bounds_candidates_total", action="probed") == sum(
+        s["candidates_probed"] for s in stats
+    )
+
+
+# ----------------------------------------------------------------------
+# Chrome trace + coverage on a real sweep
+# ----------------------------------------------------------------------
+def test_pareto_trace_kwarg_writes_perfetto_trace(tmp_path):
+    path = tmp_path / "trace.json"
+    started = time.perf_counter()
+    frontier = pareto_synthesize(
+        "Allgather", ring(4), k=0, max_steps=4, strategy="serial", trace=path
+    )
+    wall = time.perf_counter() - started
+    assert frontier.points
+    trace = json.loads(path.read_text())
+    assert trace["traceEvents"]
+    names = {e["name"] for e in trace["traceEvents"]}
+    assert {"pareto", "sweep", "probe", "solve"} <= names
+    # Per-candidate spans account for nearly all of the sweep wall clock.
+    probe_s = sum(
+        e["dur"] for e in trace["traceEvents"] if e["name"] == "probe"
+    ) / 1e6
+    assert probe_s <= wall * 1.05
+
+
+def test_pareto_trace_kwarg_accepts_tracer():
+    tracer = Tracer()
+    pareto_synthesize(
+        "Allgather", ring(4), k=0, max_steps=4, strategy="serial", trace=tracer
+    )
+    assert span_coverage(tracer.roots(), "probe") > 0.0
+
+
+# ----------------------------------------------------------------------
+# JSONL logging bridge
+# ----------------------------------------------------------------------
+def test_jsonl_bridge_streams_span_records(tmp_path, metrics):
+    from repro.telemetry import log_metrics_snapshot
+
+    path = tmp_path / "spans.jsonl"
+    tracer = Tracer()
+    with jsonl_logging(path, tracer):
+        with tracing(tracer):
+            pareto_synthesize("Gather", line(3), k=0, max_steps=4, strategy="serial")
+        log_metrics_snapshot(metrics)
+
+    records = [json.loads(row) for row in path.read_text().splitlines()]
+    spans = [r for r in records if r["event"] == "span"]
+    assert {"pareto", "sweep", "probe"} <= {r["name"] for r in spans}
+    for record in spans:
+        assert set(record) == {
+            "event", "name", "start_s", "duration_s", "pid", "tid", "attrs"
+        }
+    (snapshot,) = [r for r in records if r["event"] == "metrics"]
+    assert any(
+        key.startswith("repro_solver_calls_total") for key in snapshot["counters"]
+    )
+
+
+# ----------------------------------------------------------------------
+# Zero-overhead-when-disabled guard
+# ----------------------------------------------------------------------
+def test_disabled_tracing_overhead_guard():
+    """Instrumentation must cost <=5% of sweep wall clock when disabled.
+
+    Measured structurally rather than by racing two sweeps (which would
+    flake on a loaded runner): the per-site cost of a disabled span is
+    microbenchmarked, multiplied by the number of sites a traced run of
+    the same sweep actually hits, and compared against that sweep's wall
+    clock.
+    """
+    assert get_tracer() is NULL_TRACER
+
+    calls = 20_000
+    started = time.perf_counter()
+    for _ in range(calls):
+        with get_tracer().span("probe", collective="Allgather", C=1, S=2, R=2):
+            pass
+    per_site = (time.perf_counter() - started) / calls
+
+    with tracing() as tracer:
+        started = time.perf_counter()
+        pareto_synthesize("Allgather", ring(4), k=0, max_steps=4, strategy="serial")
+        wall = time.perf_counter() - started
+    sites = sum(1 for _ in iter_spans(tracer.roots()))
+    assert sites > 0
+    assert per_site * sites <= 0.05 * wall, (
+        f"no-op tracing would cost {per_site * sites:.4f}s over {sites} spans "
+        f"on a {wall:.4f}s sweep"
+    )

@@ -1,0 +1,154 @@
+"""Metrics registry unit tests: types, labels, exposition, concurrency."""
+
+import threading
+import time
+
+import pytest
+
+from repro.telemetry import (
+    Metrics,
+    MetricsError,
+    get_metrics,
+    set_metrics,
+)
+
+
+# ----------------------------------------------------------------------
+# Counters / gauges / histograms
+# ----------------------------------------------------------------------
+def test_counters_accumulate_per_label_set():
+    metrics = Metrics()
+    metrics.inc("repro_solver_calls_total", backend="cdcl")
+    metrics.inc("repro_solver_calls_total", backend="cdcl")
+    metrics.inc("repro_solver_calls_total", backend="dpll")
+    metrics.inc("repro_solver_calls_total", value=3.0, backend="dpll")
+
+    assert metrics.value("repro_solver_calls_total", backend="cdcl") == 2.0
+    assert metrics.value("repro_solver_calls_total", backend="dpll") == 4.0
+    assert metrics.total("repro_solver_calls_total") == 6.0
+    assert metrics.total("repro_solver_calls_total", backend="cdcl") == 2.0
+    # Unknown series read as zero, not KeyError.
+    assert metrics.value("repro_solver_calls_total", backend="z3") == 0.0
+
+
+def test_gauges_overwrite():
+    metrics = Metrics()
+    metrics.set_gauge("repro_broker_queue_depth", 4.0)
+    metrics.set_gauge("repro_broker_queue_depth", 2.0)
+    assert metrics.value("repro_broker_queue_depth") == 2.0
+
+
+def test_histograms_track_sum_count_and_buckets():
+    metrics = Metrics()
+    for value in (0.004, 0.04, 0.4, 4.0):
+        metrics.observe("repro_solve_seconds", value, backend="cdcl")
+    assert metrics.value("repro_solve_seconds", backend="cdcl") == pytest.approx(4.444)
+    text = metrics.render_prometheus()
+    assert 'repro_solve_seconds_count{backend="cdcl"} 4' in text
+    assert 'repro_solve_seconds_bucket{backend="cdcl",le="0.005"} 1' in text
+    assert 'repro_solve_seconds_bucket{backend="cdcl",le="+Inf"} 4' in text
+
+
+def test_type_confusion_is_an_error():
+    metrics = Metrics()
+    metrics.inc("repro_solver_calls_total")
+    with pytest.raises(MetricsError):
+        metrics.set_gauge("repro_solver_calls_total", 1.0)
+    with pytest.raises(MetricsError):
+        metrics.observe("repro_solver_calls_total", 1.0)
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+def test_prometheus_rendering_format():
+    metrics = Metrics()
+    metrics.describe("repro_cache_lookups_total", "algorithm cache lookups")
+    metrics.inc("repro_cache_lookups_total", outcome="hit")
+    metrics.inc("repro_cache_lookups_total", value=2.0, outcome="miss")
+    metrics.set_gauge("repro_broker_queue_depth", 3.0)
+
+    text = metrics.render_prometheus()
+    lines = text.splitlines()
+    assert "# HELP repro_cache_lookups_total algorithm cache lookups" in lines
+    assert "# TYPE repro_cache_lookups_total counter" in lines
+    assert 'repro_cache_lookups_total{outcome="hit"} 1' in lines
+    assert 'repro_cache_lookups_total{outcome="miss"} 2' in lines
+    assert "# TYPE repro_broker_queue_depth gauge" in lines
+    assert "repro_broker_queue_depth 3" in lines
+    # The registry's window is dated so scrapers can detect resets.
+    assert any(
+        line.startswith("repro_metrics_since_timestamp_seconds ") for line in lines
+    )
+    assert text.endswith("\n")
+
+
+def test_label_values_are_escaped():
+    metrics = Metrics()
+    metrics.inc("repro_test_total", path='a"b\\c')
+    assert 'repro_test_total{path="a\\"b\\\\c"} 1' in metrics.render_prometheus()
+
+
+def test_snapshot_is_json_friendly():
+    import json
+
+    metrics = Metrics()
+    metrics.inc("repro_solver_calls_total", backend="cdcl")
+    metrics.observe("repro_solve_seconds", 0.5)
+    snapshot = json.loads(json.dumps(metrics.snapshot()))
+    assert snapshot["counters"] == {'repro_solver_calls_total{backend="cdcl"}': 1.0}
+    assert snapshot["histograms"]["repro_solve_seconds"] == {"count": 1, "sum": 0.5}
+    assert snapshot["since"] == pytest.approx(metrics.since)
+
+
+# ----------------------------------------------------------------------
+# Reset / windowing (satellite: counters survive restarts, reset is explicit)
+# ----------------------------------------------------------------------
+def test_reset_zeros_series_and_restamps_since():
+    metrics = Metrics()
+    before = metrics.since
+    metrics.inc("repro_solver_calls_total")
+    time.sleep(0.01)
+    metrics.reset()
+    assert metrics.total("repro_solver_calls_total") == 0.0
+    assert metrics.since > before
+    # The name is free for a different type after a reset.
+    metrics.set_gauge("repro_solver_calls_total", 1.0)
+
+
+def test_set_metrics_swaps_registry():
+    fresh = Metrics()
+    previous = set_metrics(fresh)
+    try:
+        assert get_metrics() is fresh
+    finally:
+        set_metrics(previous)
+    assert get_metrics() is previous
+
+
+# ----------------------------------------------------------------------
+# Concurrency: 8 threads hammering one registry lose no increments
+# ----------------------------------------------------------------------
+def test_concurrent_increments_are_lossless():
+    metrics = Metrics()
+    threads, per_thread = 8, 2000
+    barrier = threading.Barrier(threads)
+
+    def work(index):
+        barrier.wait()
+        backend = "cdcl" if index % 2 else "dpll"
+        for _ in range(per_thread):
+            metrics.inc("repro_solver_calls_total", backend=backend)
+            metrics.observe("repro_solve_seconds", 0.001, backend=backend)
+            metrics.set_gauge("repro_broker_queue_depth", float(index))
+
+    workers = [threading.Thread(target=work, args=(i,)) for i in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+
+    assert metrics.total("repro_solver_calls_total") == threads * per_thread
+    assert metrics.value("repro_solver_calls_total", backend="cdcl") == 4 * per_thread
+    text = metrics.render_prometheus()
+    assert f'repro_solve_seconds_count{{backend="cdcl"}} {4 * per_thread}' in text
