@@ -18,10 +18,7 @@ run over run.  Everything here must stay fast: this file runs inside
 the tier-1 suite.
 """
 
-import json
-import os
 import time
-from pathlib import Path
 
 from repro.engine import AlgorithmCache
 from repro.faults import FaultSet, LinkDegraded, LinkDown
@@ -35,15 +32,10 @@ from repro.service import (
     apply_fault_request,
 )
 
-from conftest import report
+from conftest import report, write_bench_json
 
 ROUTED = PlanRequest("Allgather", "ring:4", size_bytes=1 << 20, synchrony=1)
 DGX1_PINNED = PlanRequest("Allgather", "dgx1", chunks=1, steps=2, rounds=2)
-
-
-def bench_output_path() -> Path:
-    root = os.environ.get("SCCL_BENCH_DIR") or Path(__file__).resolve().parents[1]
-    return Path(root) / "BENCH_faults.json"
 
 
 def _timed(fn):
@@ -182,8 +174,9 @@ def test_fault_replanning_latency(tmp_path, monkeypatch):
         "dgx1_pinned": dgx1_stats,
         "baseline_fallback": fallback_stats,
     }
-    output = bench_output_path()
-    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    # write_bench_json stamps host context and appends this run's metrics to
+    # the performance archive for the CI regression sentinel.
+    output = write_bench_json("BENCH_faults.json", payload)
 
     report(
         "BENCH_faults: degraded-mode replanning latency",

@@ -15,25 +15,17 @@ The numbers land in ``BENCH_service.json`` next to the repo root (or
 Everything here must stay fast: this file runs inside the tier-1 suite.
 """
 
-import json
-import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from pathlib import Path
 
 from repro.engine import AlgorithmCache
 from repro.service import PlanRegistry, PlanRequest, PlanningService, SynthesisResolver
 
-from conftest import report
+from conftest import report, write_bench_json
 
 PINNED = PlanRequest("Allgather", "ring:4", chunks=1, steps=2, rounds=3)
 ROUTED = PlanRequest("Allgather", "ring:4", size_bytes=1 << 20, synchrony=1)
-
-
-def bench_output_path() -> Path:
-    root = os.environ.get("SCCL_BENCH_DIR") or Path(__file__).resolve().parents[1]
-    return Path(root) / "BENCH_service.json"
 
 
 def _make_service(tmp_path, name):
@@ -176,8 +168,9 @@ def test_service_throughput(tmp_path):
         "cold_burst": cold,
         "warm": warm,
     }
-    output = bench_output_path()
-    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    # write_bench_json stamps host context and appends this run's metrics to
+    # the performance archive for the CI regression sentinel.
+    output = write_bench_json("BENCH_service.json", payload)
 
     report(
         "BENCH_service: planning-service throughput",

@@ -1,0 +1,30 @@
+"""Repo-wide pytest configuration.
+
+The performance archive (:mod:`repro.telemetry.archive`) is *persistent*
+by design — which is exactly wrong for tests: a full suite run records
+thousands of probes, and letting those land in the developer's real
+``~/.cache/repro/perf`` would both pollute their history and make test
+outcomes depend on whatever history is already there (the calibrated
+``strategy="auto"`` consults it).  Point every test at a throwaway
+directory instead — unless the caller already pinned ``REPRO_PERF_DIR``
+(CI does, so its benchmark runs can archive the trajectory as an
+artifact).
+"""
+
+import os
+import tempfile
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_perf_archive():
+    if os.environ.get("REPRO_PERF_DIR"):
+        yield  # explicit archive (e.g. CI): record into it for real
+        return
+    with tempfile.TemporaryDirectory(prefix="repro-perf-") as tmp:
+        os.environ["REPRO_PERF_DIR"] = tmp
+        try:
+            yield
+        finally:
+            os.environ.pop("REPRO_PERF_DIR", None)

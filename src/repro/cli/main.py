@@ -39,7 +39,15 @@ Subcommands
     alpha-beta simulator: verified correctness plus estimated times.
 ``repro trace``
     Summarize a Chrome trace-event JSON written by ``synthesize --trace``
-    or ``pareto --trace`` (span counts, totals, slowest probes).
+    or ``pareto --trace`` (span counts, totals, slowest probes); ``--top N``
+    lists the slowest individual spans and ``--diff OTHER.json`` compares
+    two traces phase by phase.
+``repro perf history|compare|regressions|calibrate``
+    Query the persistent performance archive (``$REPRO_PERF_DIR`` or
+    ``~/.cache/repro/perf``): list run history, diff two archived runs,
+    gate fresh ``BENCH_*.json`` files against the archived trajectory (the
+    CI regression sentinel), and inspect the probe-time model behind the
+    measured ``strategy="auto"`` pick.
 
 Every subcommand exits 0 on success and 1 on failure, printing errors to
 stderr; ``repro synthesize`` additionally exits 1 when the candidate is
@@ -823,10 +831,8 @@ def _cmd_run(args) -> int:
 # ----------------------------------------------------------------------
 # repro trace
 # ----------------------------------------------------------------------
-def _cmd_trace(args) -> int:
-    from ..telemetry import summarize_chrome_trace
-
-    path = Path(args.file)
+def _load_trace(path_str: str) -> dict:
+    path = Path(path_str)
     if not path.exists():
         raise CliError(f"no such file: {path}")
     try:
@@ -835,7 +841,171 @@ def _cmd_trace(args) -> int:
         raise CliError(f"{path} is not valid trace JSON: {exc}") from exc
     if not isinstance(trace, dict):
         raise CliError(f"{path} is not a Chrome trace (expected a JSON object)")
-    print(summarize_chrome_trace(trace))
+    return trace
+
+
+def _cmd_trace(args) -> int:
+    from ..telemetry import diff_chrome_traces, summarize_chrome_trace
+
+    trace = _load_trace(args.file)
+    if args.diff is not None:
+        other = _load_trace(args.diff)
+        print(diff_chrome_traces(
+            trace, other, label_a=args.file, label_b=args.diff
+        ))
+        return 0
+    print(summarize_chrome_trace(trace, top=args.top))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro perf
+# ----------------------------------------------------------------------
+def _perf_archive(args):
+    from ..telemetry import PerfArchive, get_archive
+
+    if getattr(args, "archive_dir", None):
+        return PerfArchive(args.archive_dir)
+    return get_archive()
+
+
+def _cmd_perf_history(args) -> int:
+    from ..telemetry import host_fingerprint
+
+    archive = _perf_archive(args)
+    kwargs = {}
+    if args.kind:
+        kwargs["kind"] = args.kind
+    if args.this_host:
+        kwargs["host"] = host_fingerprint()
+    records = archive.records(**kwargs)
+    shown = records[-args.limit:] if args.limit else records
+    if args.json:
+        print(json.dumps([r.to_json() for r in shown], indent=2, sort_keys=True))
+        return 0
+    stats = archive.stats()
+    print(
+        f"archive {stats['root']}: {stats['records']} records in "
+        f"{stats['segments']} segment(s)"
+        + (f", {stats['corrupt_lines']} corrupt line(s) skipped"
+           if stats["corrupt_lines"] else "")
+    )
+    if not shown:
+        print("no matching records (run a sweep or a benchmark to record one)")
+        return 0
+    for record in shown:
+        print(f"{record.run_id:<24} {record.describe()}")
+    return 0
+
+
+def _resolve_perf_record(archive, token: str):
+    from ..telemetry import ArchiveError
+
+    try:
+        matches = archive.find(token)
+    except ArchiveError as exc:
+        raise CliError(str(exc)) from exc
+    if not matches:
+        raise CliError(
+            f"no archived record matches {token!r} "
+            "(use a run-id prefix from `repro perf history`, or @N for the "
+            "Nth most recent)"
+        )
+    if len(matches) > 1:
+        preview = ", ".join(r.run_id for r in matches[:5])
+        raise CliError(
+            f"{token!r} is ambiguous ({len(matches)} records: {preview}...)"
+        )
+    return matches[0]
+
+
+def _cmd_perf_compare(args) -> int:
+    from ..perf import compare_records
+
+    archive = _perf_archive(args)
+    record_a = _resolve_perf_record(archive, args.run_a)
+    record_b = _resolve_perf_record(archive, args.run_b)
+    print(compare_records(record_a, record_b))
+    return 0
+
+
+def _cmd_perf_regressions(args) -> int:
+    from ..perf import ToleranceBand, detect_regressions
+
+    archive = _perf_archive(args)
+    bench_dir = Path(args.bench_dir) if args.bench_dir else Path.cwd()
+    current = {}
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise CliError(f"cannot read {path}: {exc}") from exc
+        if isinstance(payload, dict):
+            current[path.stem] = payload
+    if not current:
+        raise CliError(
+            f"no BENCH_*.json files under {bench_dir} "
+            "(run the benchmarks first, or pass --bench-dir)"
+        )
+    band = ToleranceBand(
+        max_slowdown=args.max_slowdown,
+        max_hit_rate_drop=args.max_hit_rate_drop,
+        min_wall_s=args.min_wall,
+    )
+    report = detect_regressions(
+        current, archive, band=band, baseline=args.baseline
+    )
+    print(report.render())
+    if report.failures and not args.warn_only:
+        print(
+            f"repro perf regressions: {len(report.failures)} metric(s) "
+            "outside the tolerance band", file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_perf_calibrate(args) -> int:
+    from ..perf import ProbeTimeModel, ambient_model
+    from ..telemetry import host_fingerprint
+
+    archive = _perf_archive(args)
+    if getattr(args, "archive_dir", None):
+        model = ProbeTimeModel(
+            archive.iter_records(kind="pareto", host=host_fingerprint()),
+            host=host_fingerprint(),
+        )
+    else:
+        model = ambient_model(archive)
+    rows = model.report()
+    print(
+        f"probe-time model over {archive.root}: {len(model)} pareto run(s) "
+        f"ingested for host {host_fingerprint()}"
+    )
+    if not rows:
+        print(
+            "no calibration data yet — strategy=\"auto\" uses the static "
+            "size thresholds (cold start); run `repro pareto` a few times "
+            "with different --strategy values to record history"
+        )
+        return 0
+    print(f"{'features':<24} {'strategy':<12} {'runs':>5} {'median_s':>10} "
+          f"{'mean_s':>10}  pick")
+    for row in rows:
+        print(
+            f"{row['features']:<24} {row['strategy']:<12} {row['count']:>5} "
+            f"{row['median_s']:>10.4f} {row['mean_s']:>10.4f}"
+            + ("  <-- measured pick" if row["picked"] else "")
+        )
+    if args.check:
+        from ..core.pareto import resolve_strategy
+
+        topology = parse_topology(args.check)
+        pick = resolve_strategy(topology, k=args.synchrony, model=model)
+        print(
+            f"\nresolve_strategy({args.check}, k={args.synchrony}) "
+            f"-> {pick!r}"
+        )
     return 0
 
 
@@ -1072,7 +1242,92 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="summarize a Chrome trace written by --trace"
     )
     trace.add_argument("file", help="trace-event JSON file (from --trace FILE)")
+    trace.add_argument("--top", type=int, default=0, metavar="N",
+                       help="also list the N slowest individual spans")
+    trace.add_argument("--diff", default=None, metavar="OTHER.json",
+                       help="phase-by-phase comparison against a second trace "
+                       "instead of a summary")
     trace.set_defaults(func=_cmd_trace)
+
+    # perf -------------------------------------------------------------
+    perf = subparsers.add_parser(
+        "perf",
+        help="query the persistent performance archive "
+        "(~/.cache/repro/perf or $REPRO_PERF_DIR)",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    def _add_archive_option(p) -> None:
+        p.add_argument("--archive-dir", default=None, metavar="DIR",
+                       help="performance archive directory "
+                       "(default: $REPRO_PERF_DIR or ~/.cache/repro/perf)")
+
+    history = perf_sub.add_parser(
+        "history", help="list archived runs (probes, sweeps, pareto, "
+        "service requests, benchmarks)"
+    )
+    history.add_argument("--kind", default=None,
+                         choices=("probe", "sweep", "pareto", "service", "bench"),
+                         help="only records of this kind")
+    history.add_argument("--limit", type=int, default=20, metavar="N",
+                         help="show the N most recent records (0 = all)")
+    history.add_argument("--this-host", action="store_true",
+                         help="only records from this host's fingerprint")
+    history.add_argument("--json", action="store_true",
+                         help="dump the raw records as JSON")
+    _add_archive_option(history)
+    history.set_defaults(func=_cmd_perf_history)
+
+    compare = perf_sub.add_parser(
+        "compare", help="diff two archived runs phase by phase"
+    )
+    compare.add_argument("run_a", help="run-id/session/fingerprint prefix, "
+                         "or @N for the Nth most recent record")
+    compare.add_argument("run_b")
+    _add_archive_option(compare)
+    compare.set_defaults(func=_cmd_perf_compare)
+
+    regressions = perf_sub.add_parser(
+        "regressions",
+        help="compare fresh BENCH_*.json files against the archived "
+        "trajectory (the CI gate)",
+    )
+    regressions.add_argument("--bench-dir", default=None, metavar="DIR",
+                             help="directory holding BENCH_*.json "
+                             "(default: current directory)")
+    regressions.add_argument("--baseline", default=None, metavar="RUN",
+                             help="pin the baseline to specific archived runs "
+                             "(run-id/session prefix or @N) instead of the "
+                             "whole same-host trajectory median")
+    regressions.add_argument("--max-slowdown", type=float, default=0.25,
+                             metavar="FRAC",
+                             help="relative slowdown tolerance for time/rate "
+                             "metrics (default 0.25 = +25%%)")
+    regressions.add_argument("--max-hit-rate-drop", type=float, default=0.05,
+                             metavar="FRAC",
+                             help="absolute drop tolerance for hit-rate/ratio "
+                             "metrics (default 0.05)")
+    regressions.add_argument("--min-wall", type=float, default=0.05,
+                             metavar="S",
+                             help="noise floor: timings under S seconds are "
+                             "never judged (default 0.05)")
+    regressions.add_argument("--warn-only", action="store_true",
+                             help="report findings but always exit 0 "
+                             "(an empty archive is warn-only by itself)")
+    _add_archive_option(regressions)
+    regressions.set_defaults(func=_cmd_perf_regressions)
+
+    calibrate = perf_sub.add_parser(
+        "calibrate",
+        help="show the probe-time model strategy=\"auto\" would consult",
+    )
+    calibrate.add_argument("--check", default=None, metavar="TOPOLOGY",
+                           help="also print the resolved strategy for this "
+                           f"topology ({TOPOLOGY_HELP})")
+    calibrate.add_argument("-k", "--synchrony", type=int, default=0,
+                           help="synchrony budget for --check (default 0)")
+    _add_archive_option(calibrate)
+    calibrate.set_defaults(func=_cmd_perf_calibrate)
 
     # backends ---------------------------------------------------------
     backends = subparsers.add_parser("backends", help="list registered solver backends")
@@ -1106,6 +1361,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
     try:
         return int(args.func(args) or 0)
+    except BrokenPipeError:
+        # Downstream reader (head, grep -q) closed the pipe: not an error.
+        return 0
     except CliError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 1

@@ -25,7 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..collectives import get_collective
 from ..solver import SolveResult
-from ..telemetry import Tracer, get_tracer, tracing
+from ..telemetry import Tracer, exact_quantiles, get_tracer, record_run, tracing
 from ..topology import Topology
 from .algorithm import Algorithm
 from .bounds import lower_bounds
@@ -207,29 +207,70 @@ def resolve_strategy(
     max_chunks: Optional[int] = None,
     max_workers: Optional[int] = None,
     cpu_count: Optional[int] = None,
+    model: Union[str, None, "object"] = "ambient",
 ) -> str:
     """Pick a concrete sweep strategy for ``strategy="auto"``.
 
     Single-core hosts (or an explicit one-worker budget) get the serial
     loop: the pool strategies only add process overhead there, and the
     shared-prefix family's exact-formula UNKNOWN retries can make the
-    incremental path pay for probes twice.  On multi-core hosts, large
-    instances — many nodes, deep chunk subdivision or a loose synchrony
-    budget, all of which multiply the candidate count and formula size —
-    are worth the speculative cross-``S`` pipeline; small ones stay on the
-    incremental dispatcher, whose shared encodings dominate when individual
-    solves are cheap.  ``cpu_count`` overrides :func:`os.cpu_count` so the
+    incremental path pay for probes twice.  That guard is structural and
+    always wins.
+
+    On multi-core hosts the pick is *measured* where history allows:
+    ``model="ambient"`` (the default) consults this host's
+    :class:`~repro.perf.model.ProbeTimeModel` over the performance archive
+    — per-(instance-feature, strategy) timing distributions from previous
+    ``pareto`` runs — and returns the strategy with the lowest recorded
+    median wall clock for this instance shape.  A cold archive (or
+    ``model="off"``/``None``, or an unreadable archive — calibration may
+    never break synthesis) falls back to the static size thresholds:
+    large instances — many nodes, deep chunk subdivision or a loose
+    synchrony budget, all of which multiply the candidate count and
+    formula size — get the speculative cross-``S`` pipeline, small ones
+    the incremental dispatcher.  A :class:`~repro.perf.model.ProbeTimeModel`
+    instance is consulted as-is (tests).
+
+    The pick only selects *which dispatcher runs*; every dispatcher
+    commits frontiers byte-identically, so calibration cannot change
+    frontier bytes.  ``cpu_count`` overrides :func:`os.cpu_count` so the
     policy itself is unit-testable.
     """
     cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
     if cores < 2 or (max_workers is not None and max_workers < 2):
         return "serial"
+    measured = _measured_pick(topology, k=k, max_chunks=max_chunks, model=model)
+    if measured is not None:
+        return measured
     large = (
         topology.num_nodes >= 6
         or (max_chunks is not None and max_chunks >= 4)
         or k >= 2
     )
     return "speculative" if large else "incremental"
+
+
+def _measured_pick(
+    topology: Topology,
+    *,
+    k: int,
+    max_chunks: Optional[int],
+    model: Union[str, None, "object"],
+) -> Optional[str]:
+    """The probe-time model's recommendation, or None (cold start / off)."""
+    if model in (None, "off", "static"):
+        return None
+    try:
+        from ..perf import KNOWN_STRATEGIES, ambient_model, strategy_features
+
+        if model == "ambient":
+            model = ambient_model()
+        pick = model.predict(
+            strategy_features(topology, k=k, max_chunks=max_chunks)
+        )
+    except Exception:
+        return None
+    return pick if pick in KNOWN_STRATEGIES else None
 
 
 def pareto_synthesize(
@@ -426,9 +467,25 @@ def pareto_synthesize(
             bounds=ledger,
         )
 
+    # Phase splits and raw solve samples across the whole run: what the
+    # performance archive's "pareto" record carries, and what the probe-time
+    # model later calibrates strategy="auto" on.
+    phase_acc = {"encode_s": 0.0, "solve_s": 0.0, "verify_s": 0.0}
+    solve_samples: List[float] = []
+    cache_replays = 0
+
     def ingest_sweep(steps: int, outcome) -> bool:
         """Fold one sweep outcome into the frontier; True at bandwidth-optimal."""
+        nonlocal cache_replays
         sweep_stats.merge(outcome.stats)
+        for result in outcome.results:
+            if result.cache_hit:
+                cache_replays += 1
+            else:
+                phase_acc["encode_s"] += result.encode_time
+                phase_acc["solve_s"] += result.solve_time
+                phase_acc["verify_s"] += result.verify_time
+                solve_samples.append(result.solve_time)
         proved = True
         unsat_probes = 0
         for result in outcome.results:
@@ -515,6 +572,33 @@ def pareto_synthesize(
         frontier.total_time = time.monotonic() - start_time
         frontier.engine_stats = sweep_stats.as_dict()
         pareto_span.set(points=len(frontier.points))
+
+    try:
+        from ..perf import strategy_features
+
+        features = strategy_features(topology, k=k, max_chunks=max_chunks)
+    except Exception:  # pragma: no cover - calibration must not break runs
+        features = {}
+    record_run(
+        "pareto",
+        name=f"{spec.name}/{topology.name}",
+        features=features,
+        strategy=strategy,
+        backend=frontier.backend,
+        verdict="sat" if frontier.points else "exhausted",
+        wall_s=frontier.total_time,
+        phases={key: round(value, 6) for key, value in phase_acc.items()},
+        quantiles={
+            f"solve_{key}": value
+            for key, value in exact_quantiles(solve_samples).items()
+        },
+        extra={
+            "points": len(frontier.points),
+            "bounds": bounds_mode,
+            "cache_replays": cache_replays,
+            "engine_stats": sweep_stats.as_dict(),
+        },
+    )
     return frontier
 
 

@@ -214,7 +214,45 @@ def synthesize(
             result.algorithm = algorithm
         if cache is not None:
             store_result(cache, result, encoding=encoding, prune=prune)
+        _record_probe(result, encoding=encoding, prune=prune)
         return result
+
+
+def _record_probe(result: SynthesisResult, *, encoding: str, prune: bool) -> None:
+    """Append one solved probe to the performance archive (best effort).
+
+    Only fresh solves are recorded — cache replays carry the original
+    run's timings and would skew every distribution built on top.
+    """
+    from ..engine.cache import instance_fingerprint
+    from ..telemetry import record_run
+
+    instance = result.instance
+    record_run(
+        "probe",
+        name=(
+            f"{instance.collective}/{instance.topology.name}/"
+            f"C{instance.chunks_per_node}S{instance.steps}R{instance.rounds}"
+        ),
+        fingerprint=instance_fingerprint(
+            instance, encoding=encoding, prune=prune
+        ),
+        features={
+            "nodes": instance.topology.num_nodes,
+            "C": instance.chunks_per_node,
+            "S": instance.steps,
+            "R": instance.rounds,
+        },
+        backend=result.backend,
+        verdict=result.status.value,
+        wall_s=result.encode_time + result.solve_time + result.verify_time,
+        phases={
+            "encode_s": round(result.encode_time, 6),
+            "solve_s": round(result.solve_time, 6),
+            "verify_s": round(result.verify_time, 6),
+        },
+        extra={"encoding": encoding, "provenance": result.provenance},
+    )
 
 
 def synthesize_collective(

@@ -171,6 +171,51 @@ def _publish_bounds_metrics(stats: SweepStats) -> None:
         )
 
 
+def _commit_sweep_telemetry(
+    strategy: str, request: SweepRequest, outcome: SweepOutcome
+) -> None:
+    """Publish one committed sweep: metrics registry + performance archive.
+
+    Called exactly once per committed sweep by every dispatcher (the
+    speculative path calls it from ``_try_commit``, whose discarded partial
+    replays never reach here), so the archive's ``sweep`` records and the
+    ``repro_bounds_candidates_total`` series agree by construction.
+    """
+    from ..telemetry import exact_quantiles, record_run
+
+    _publish_bounds_metrics(outcome.stats)
+    solved = [r for r in outcome.results if not r.cache_hit]
+    first_sat = outcome.first_sat
+    record_run(
+        "sweep",
+        name=f"{request.collective}/{request.topology.name}/S{request.steps}",
+        features={
+            "nodes": request.topology.num_nodes,
+            "S": request.steps,
+            "candidates": len(request.candidates),
+        },
+        strategy=strategy,
+        backend=(
+            outcome.results[0].backend if outcome.results
+            else (request.backend or "")
+        ),
+        verdict=first_sat.status.value if first_sat is not None else "unsat",
+        wall_s=sum(r.encode_time + r.solve_time + r.verify_time for r in solved),
+        phases={
+            "encode_s": round(sum(r.encode_time for r in solved), 6),
+            "solve_s": round(sum(r.solve_time for r in solved), 6),
+            "verify_s": round(sum(r.verify_time for r in solved), 6),
+        },
+        quantiles={
+            f"solve_{key}": value
+            for key, value in exact_quantiles(
+                [r.solve_time for r in solved]
+            ).items()
+        },
+        extra=outcome.stats.as_dict(),
+    )
+
+
 def _cached_result(request: SweepRequest, rounds: int, chunks: int, cache):
     """Resolve one candidate against the cache (None on a miss or no cache)."""
     if cache is None:
@@ -253,7 +298,7 @@ class SerialDispatcher:
                 outcome.results.append(result)
                 if result.is_sat and request.stop_at_first_sat:
                     break
-        _publish_bounds_metrics(outcome.stats)
+        _commit_sweep_telemetry(self.name, request, outcome)
         return outcome
 
 
@@ -363,7 +408,7 @@ class IncrementalDispatcher:
                 outcome.results.append(result)
                 if result.is_sat and request.stop_at_first_sat:
                     break
-        _publish_bounds_metrics(outcome.stats)
+        _commit_sweep_telemetry(self.name, request, outcome)
         return outcome
 
     @staticmethod
@@ -622,7 +667,7 @@ class ParallelDispatcher:
                 outcome.results.append(result)
                 if result.is_sat and request.stop_at_first_sat:
                     break
-        _publish_bounds_metrics(outcome.stats)
+        _commit_sweep_telemetry(self.name, request, outcome)
         return outcome
 
 
@@ -1078,7 +1123,7 @@ class SpeculativeDispatcher:
                 )
                 note._open = False
                 state.span.children.append(note)
-        _publish_bounds_metrics(outcome.stats)
+        _commit_sweep_telemetry("speculative", request, outcome)
         return outcome
 
 

@@ -1,0 +1,259 @@
+"""Measured strategy calibration: the ProbeTimeModel behind ``strategy="auto"``.
+
+The ROADMAP's adaptive-strategy item asks for the sweep-strategy pick to
+be *measured* — calibrated on observed probe times rather than static size
+thresholds.  This module closes that loop over the performance archive
+(:mod:`repro.telemetry.archive`):
+
+* every finished :func:`~repro.core.pareto.pareto_synthesize` run appends a
+  ``kind="pareto"`` record carrying the instance's coarse *features*
+  (node count, synchrony budget, chunk cap), the strategy that ran it and
+  the wall clock it took;
+* :class:`ProbeTimeModel` folds those records into per-(feature-bucket,
+  strategy) timing distributions, partitioned by host fingerprint so a
+  laptop's history never calibrates a CI runner;
+* :func:`~repro.core.pareto.resolve_strategy` consults the ambient model
+  first and only falls back to the static thresholds when the history is
+  too thin to compare strategies (the cold-start path).
+
+The pick only ever changes *which dispatcher runs*; all dispatchers commit
+frontiers byte-identically (the determinism property the engine already
+tests), so calibration can never change frontier bytes — a property test
+in ``tests/perf`` pins this.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..telemetry.archive import (
+    PerfArchive,
+    RunRecord,
+    get_archive,
+    host_fingerprint,
+)
+
+#: Strategies the model may recommend (``auto`` and typos are ignored).
+KNOWN_STRATEGIES = ("serial", "incremental", "parallel", "speculative")
+
+
+def strategy_features(topology, *, k: int = 0,
+                      max_chunks: Optional[int] = None) -> Dict[str, int]:
+    """The coarse instance shape timings are bucketed on.
+
+    Deliberately low-cardinality: the candidate count and formula size are
+    driven by node count, synchrony budget and chunk cap, and buckets must
+    re-aggregate across runs for the distributions to ever reach
+    ``min_samples``.
+    """
+    return {
+        "nodes": int(topology.num_nodes),
+        "k": int(k),
+        "chunks": int(max_chunks or 0),
+    }
+
+
+def feature_key(features: Dict[str, object]) -> str:
+    """Canonical string form of a feature bucket (sorted, order-free)."""
+    return "|".join(f"{k}={features[k]}" for k in sorted(features))
+
+
+@dataclass
+class TimingDistribution:
+    """Wall-clock samples for one (feature bucket, strategy, backend)."""
+
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, wall_s: float) -> None:
+        self.samples.append(float(wall_s))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def median(self) -> float:
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_s": round(self.mean, 6),
+            "median_s": round(self.median, 6),
+            "min_s": round(min(self.samples), 6) if self.samples else 0.0,
+            "max_s": round(max(self.samples), 6) if self.samples else 0.0,
+        }
+
+
+class ProbeTimeModel:
+    """Per-(instance-feature, strategy, backend) timing distributions.
+
+    Entirely deterministic: ingestion order does not matter (distributions
+    aggregate), prediction iterates sorted keys and breaks mean ties on the
+    strategy name, so two processes reading the same archive always pick
+    the same strategy.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[RunRecord] = (),
+        *,
+        min_samples: int = 2,
+        host: Optional[str] = None,
+    ) -> None:
+        if min_samples < 1:
+            raise ValueError("min_samples must be at least 1")
+        self.min_samples = min_samples
+        #: Only records from this host calibrate the model (None = any).
+        self.host = host
+        # (feature_key, strategy) -> distribution; backend kept as a label
+        # inside a parallel map for reporting, not for the pick itself.
+        self._dists: Dict[Tuple[str, str], TimingDistribution] = {}
+        self._backends: Dict[Tuple[str, str], Dict[str, int]] = {}
+        self.ingested = 0
+        for record in records:
+            self.ingest(record)
+
+    # ------------------------------------------------------------------
+    def ingest(self, record: RunRecord) -> bool:
+        """Fold one archived run in; False when the record cannot calibrate."""
+        if record.kind != "pareto":
+            return False
+        if record.strategy not in KNOWN_STRATEGIES:
+            return False
+        if record.wall_s <= 0 or not record.features:
+            return False
+        if self.host is not None and record.host_key() != self.host:
+            return False
+        key = (feature_key(record.features), record.strategy)
+        dist = self._dists.get(key)
+        if dist is None:
+            dist = self._dists[key] = TimingDistribution()
+        dist.add(record.wall_s)
+        if record.backend:
+            backends = self._backends.setdefault(key, {})
+            backends[record.backend] = backends.get(record.backend, 0) + 1
+        self.ingested += 1
+        return True
+
+    # ------------------------------------------------------------------
+    def observations(self, features: Dict[str, object]) -> Dict[str, TimingDistribution]:
+        bucket = feature_key(features)
+        return {
+            strategy: dist
+            for (key, strategy), dist in sorted(self._dists.items())
+            if key == bucket
+        }
+
+    def predict(self, features: Dict[str, object]) -> Optional[str]:
+        """The measured pick for this feature bucket, or None (cold start).
+
+        A recommendation needs at least two strategies each observed
+        ``min_samples`` times — one strategy's history alone proves nothing
+        about the alternatives, and thin histories are noise.  The pick is
+        the lowest *median* wall clock (robust to one outlier run), ties
+        broken lexicographically.
+        """
+        candidates = [
+            (dist.median, strategy)
+            for strategy, dist in self.observations(features).items()
+            if dist.count >= self.min_samples
+        ]
+        if len(candidates) < 2:
+            return None
+        candidates.sort()
+        return candidates[0][1]
+
+    # ------------------------------------------------------------------
+    def report(self) -> List[Dict[str, object]]:
+        """One row per (feature bucket, strategy): ``repro perf calibrate``."""
+        rows: List[Dict[str, object]] = []
+        buckets = sorted({key for key, _ in self._dists})
+        for bucket in buckets:
+            features = dict(
+                (part.split("=", 1)[0], int(part.split("=", 1)[1]))
+                for part in bucket.split("|")
+            )
+            pick = self.predict(features)
+            for (key, strategy), dist in sorted(self._dists.items()):
+                if key != bucket:
+                    continue
+                row: Dict[str, object] = {
+                    "features": bucket,
+                    "strategy": strategy,
+                    "picked": strategy == pick,
+                }
+                row.update(dist.as_dict())
+                backends = self._backends.get((key, strategy), {})
+                if backends:
+                    row["backends"] = dict(sorted(backends.items()))
+                rows.append(row)
+        return rows
+
+    def __len__(self) -> int:
+        return self.ingested
+
+
+# ----------------------------------------------------------------------
+# The ambient model: what resolve_strategy("auto") consults
+# ----------------------------------------------------------------------
+_AMBIENT_LOCK = threading.Lock()
+_AMBIENT_OVERRIDE: Optional[ProbeTimeModel] = None
+_AMBIENT_CACHE: Dict[str, Tuple[Tuple, ProbeTimeModel]] = {}
+
+
+def _archive_signature(archive: PerfArchive) -> Tuple:
+    """Cheap change detector: segment names, sizes and mtimes."""
+    signature = []
+    for segment in archive.segments():
+        try:
+            stat = segment.stat()
+            signature.append((segment.name, stat.st_size, stat.st_mtime_ns))
+        except OSError:
+            continue
+    return tuple(signature)
+
+
+def ambient_model(archive: Optional[PerfArchive] = None) -> ProbeTimeModel:
+    """This host's model over the ambient archive, rebuilt only on change.
+
+    Memoized per archive root on a (name, size, mtime) segment signature,
+    so the common case — ``resolve_strategy("auto")`` called in a loop with
+    no new runs recorded — costs two ``stat`` calls, not a full reload.
+    """
+    if _AMBIENT_OVERRIDE is not None:
+        return _AMBIENT_OVERRIDE
+    archive = archive if archive is not None else get_archive()
+    root = str(archive.root)
+    signature = _archive_signature(archive)
+    with _AMBIENT_LOCK:
+        cached = _AMBIENT_CACHE.get(root)
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+    model = ProbeTimeModel(
+        archive.iter_records(kind="pareto", host=host_fingerprint()),
+        host=host_fingerprint(),
+    )
+    with _AMBIENT_LOCK:
+        _AMBIENT_CACHE[root] = (signature, model)
+    return model
+
+
+def set_ambient_model(model: Optional[ProbeTimeModel]) -> Optional[ProbeTimeModel]:
+    """Pin the ambient model (tests); ``None`` restores archive resolution."""
+    global _AMBIENT_OVERRIDE
+    previous = _AMBIENT_OVERRIDE
+    _AMBIENT_OVERRIDE = model
+    return previous

@@ -1,0 +1,302 @@
+"""The CI regression sentinel: fresh BENCH numbers vs the archived trajectory.
+
+``benchmarks/`` write ``BENCH_sweep.json`` / ``BENCH_service.json`` /
+``BENCH_faults.json`` snapshots *and* append one ``kind="bench"`` record
+per file to the performance archive, carrying the same numbers flattened
+into dotted metric paths (:func:`flatten_bench_metrics`).  The sentinel
+(:func:`detect_regressions`, ``repro perf regressions`` in CI) then
+compares each fresh metric against the **median** of its archived
+trajectory on the *same host fingerprint* and flags values outside a
+:class:`ToleranceBand`:
+
+* **time** metrics (``*_s``) regress when they exceed the median by more
+  than ``max_slowdown`` — but wall-clock totals (``*wall*``) only *warn*
+  on hosts with fewer than ``wall_noise_cores`` cores, where scheduling
+  noise dominates, and timings under ``min_wall_s`` are ignored outright;
+* **rate** metrics (``*_per_sec``) regress when they drop below the median
+  by more than ``max_slowdown`` (relative);
+* **ratio** metrics (``*hit_rate*``, ``*_ratio``, ``*coverage*``; all in
+  ``[0, 1]``) regress when they drop by more than ``max_hit_rate_drop``
+  (absolute).
+
+Cross-host comparisons never happen: records whose host fingerprint
+differs from the current host's are not part of the baseline.  A metric
+with no archived history at all is reported as a warning, never a failure
+— the first CI run on a fresh archive passes by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..telemetry.archive import (
+    PerfArchive,
+    RunRecord,
+    host_context,
+    host_fingerprint,
+)
+
+#: Flattened metric: (value, kind) with kind in {"time", "rate", "ratio"}.
+FlatMetrics = Dict[str, Tuple[float, str]]
+
+#: Subtrees that are raw counter snapshots / context, not gateable metrics.
+_SKIP_KEYS = {"metrics", "host", "since", "invalidated"}
+
+
+def classify_metric(key: str) -> Optional[str]:
+    """Metric kind from the leaf key's naming convention (None = not gated)."""
+    leaf = key.rsplit(".", 1)[-1]
+    if leaf.endswith("_per_sec"):
+        return "rate"
+    if "hit_rate" in leaf or leaf.endswith("_ratio") or "coverage" in leaf:
+        return "ratio"
+    if leaf.endswith("_s"):
+        return "time"
+    return None
+
+
+def flatten_bench_metrics(payload: dict, prefix: str = "") -> FlatMetrics:
+    """Dotted numeric leaves of a BENCH payload, classified by kind.
+
+    This is both what the benchmarks archive (``RunRecord.metrics``) and
+    what the sentinel gates, so the two sides agree on names forever.
+    """
+    flat: FlatMetrics = {}
+    for key, value in payload.items():
+        if key in _SKIP_KEYS:
+            continue
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            flat.update(flatten_bench_metrics(value, path))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            kind = classify_metric(path)
+            if kind is not None:
+                flat[path] = (float(value), kind)
+    return flat
+
+
+@dataclass
+class ToleranceBand:
+    """How far a metric may drift from its archived median before CI fails."""
+
+    max_slowdown: float = 0.25       # time/rate: +-25% relative
+    max_hit_rate_drop: float = 0.05  # ratio: absolute drop
+    min_wall_s: float = 0.05         # time noise floor: ignore faster timings
+    min_samples: int = 2             # thinner baselines only warn
+    wall_noise_cores: int = 2        # *wall* timings warn below this core count
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "max_slowdown": self.max_slowdown,
+            "max_hit_rate_drop": self.max_hit_rate_drop,
+            "min_wall_s": self.min_wall_s,
+            "min_samples": self.min_samples,
+            "wall_noise_cores": self.wall_noise_cores,
+        }
+
+
+@dataclass
+class Finding:
+    """One metric outside (or unjudgeable against) its tolerance band."""
+
+    benchmark: str
+    metric: str
+    kind: str
+    severity: str                 # "fail" | "warn"
+    current: float
+    baseline: Optional[float]     # None: no archived history
+    samples: int
+    reason: str
+
+    def describe(self) -> str:
+        base = "n/a" if self.baseline is None else f"{self.baseline:.4g}"
+        return (
+            f"[{self.severity.upper()}] {self.benchmark}:{self.metric} "
+            f"({self.kind}) {base} -> {self.current:.4g}  {self.reason}"
+        )
+
+
+@dataclass
+class RegressionReport:
+    host: str
+    band: ToleranceBand
+    findings: List[Finding] = field(default_factory=list)
+    checked: int = 0
+    baseline_runs: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def failures(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "fail"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warn"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [
+            f"host {self.host}",
+            "baseline runs: " + (
+                ", ".join(
+                    f"{name}={count}" for name, count
+                    in sorted(self.baseline_runs.items()) if count
+                ) or "none (first run: warn-only)"
+            ),
+            f"{self.checked} metrics checked, "
+            f"{len(self.failures)} failure(s), {len(self.warnings)} warning(s)",
+        ]
+        for finding in self.findings:
+            lines.append("  " + finding.describe())
+        if not self.findings:
+            lines.append("  all metrics inside the tolerance band")
+        return "\n".join(lines)
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def baseline_records(
+    archive: PerfArchive,
+    benchmark: str,
+    *,
+    host: Optional[str] = None,
+    token: Optional[str] = None,
+) -> List[RunRecord]:
+    """The archived trajectory one benchmark is judged against.
+
+    ``token`` pins the baseline to specific runs (a run-id/session prefix
+    or ``@N``) instead of the whole same-host trajectory.
+    """
+    host = host if host is not None else host_fingerprint()
+    if token:
+        return [
+            r for r in archive.find(token, kind="bench", host=host)
+            if r.name == benchmark
+        ]
+    return [
+        r for r in archive.iter_records(kind="bench", host=host)
+        if r.name == benchmark
+    ]
+
+
+def detect_regressions(
+    current: Dict[str, dict],
+    archive: PerfArchive,
+    *,
+    band: Optional[ToleranceBand] = None,
+    host: Optional[Dict[str, object]] = None,
+    baseline: Optional[str] = None,
+) -> RegressionReport:
+    """Judge fresh BENCH payloads against the archive (see module docstring).
+
+    ``current`` maps benchmark names (``"BENCH_sweep"``) to their parsed
+    payloads; ``host`` defaults to this machine's :func:`host_context`.
+    """
+    band = band if band is not None else ToleranceBand()
+    host = host if host is not None else host_context()
+    host_key = host_fingerprint(host)
+    cores = int(host.get("cpu_count", 1) or 1)
+    report = RegressionReport(host=host_key, band=band)
+
+    for benchmark in sorted(current):
+        fresh = flatten_bench_metrics(current[benchmark])
+        history = baseline_records(
+            archive, benchmark, host=host_key, token=baseline
+        )
+        report.baseline_runs[benchmark] = len(history)
+        trajectory: Dict[str, List[float]] = {}
+        for record in history:
+            for metric, value in record.metrics.items():
+                if isinstance(value, (int, float)):
+                    trajectory.setdefault(metric, []).append(float(value))
+
+        for metric, (value, kind) in sorted(fresh.items()):
+            report.checked += 1
+            series = trajectory.get(metric)
+            if not series:
+                report.findings.append(Finding(
+                    benchmark, metric, kind, "warn", value, None, 0,
+                    "no archived baseline on this host",
+                ))
+                continue
+            base = _median(series)
+            severity = "fail" if len(series) >= band.min_samples else "warn"
+            if kind == "time":
+                if value < band.min_wall_s or base < band.min_wall_s:
+                    continue  # below the noise floor: not judgeable
+                if value <= base * (1.0 + band.max_slowdown):
+                    continue
+                if "wall" in metric.rsplit(".", 1)[-1] and cores < band.wall_noise_cores:
+                    severity = "warn"
+                report.findings.append(Finding(
+                    benchmark, metric, kind, severity, value, base, len(series),
+                    f"+{100.0 * (value / base - 1.0):.0f}% over the archived "
+                    f"median (tolerance +{100.0 * band.max_slowdown:.0f}%)",
+                ))
+            elif kind == "rate":
+                if base <= 0 or value >= base * (1.0 - band.max_slowdown):
+                    continue
+                report.findings.append(Finding(
+                    benchmark, metric, kind, severity, value, base, len(series),
+                    f"-{100.0 * (1.0 - value / base):.0f}% under the archived "
+                    f"median (tolerance -{100.0 * band.max_slowdown:.0f}%)",
+                ))
+            else:  # ratio
+                if value >= base - band.max_hit_rate_drop:
+                    continue
+                report.findings.append(Finding(
+                    benchmark, metric, kind, severity, value, base, len(series),
+                    f"dropped {base - value:.3f} absolute (tolerance "
+                    f"{band.max_hit_rate_drop:.3f})",
+                ))
+    return report
+
+
+# ----------------------------------------------------------------------
+# Run-to-run comparison (repro perf compare)
+# ----------------------------------------------------------------------
+def compare_records(a: RunRecord, b: RunRecord) -> str:
+    """Phase-by-phase textual diff of two archived runs."""
+    lines = [
+        f"A: {a.describe()}",
+        f"B: {b.describe()}",
+    ]
+    if a.host_key() != b.host_key():
+        lines.append(
+            f"NOTE: different hosts ({a.host_key()} vs {b.host_key()}) — "
+            "timings are not directly comparable"
+        )
+    lines.append("")
+    lines.append(f"{'quantity':<28} {'A':>12} {'B':>12} {'delta':>12}")
+
+    def row(label: str, va: Optional[float], vb: Optional[float]) -> str:
+        fa = f"{va:.4f}" if va is not None else "-"
+        fb = f"{vb:.4f}" if vb is not None else "-"
+        if va is not None and vb is not None:
+            delta = vb - va
+            rel = f" ({100.0 * delta / va:+.0f}%)" if va else ""
+            return f"{label:<28} {fa:>12} {fb:>12} {delta:>+12.4f}{rel}"
+        return f"{label:<28} {fa:>12} {fb:>12} {'-':>12}"
+
+    lines.append(row("wall_s", a.wall_s, b.wall_s))
+    for key in sorted(set(a.phases) | set(b.phases)):
+        lines.append(row(f"phase.{key}", a.phases.get(key), b.phases.get(key)))
+    for key in sorted(set(a.quantiles) | set(b.quantiles)):
+        lines.append(row(
+            f"quantile.{key}", a.quantiles.get(key), b.quantiles.get(key)
+        ))
+    shared = sorted(set(a.metrics) & set(b.metrics))
+    for key in shared:
+        va, vb = a.metrics.get(key), b.metrics.get(key)
+        if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+            lines.append(row(key, float(va), float(vb)))
+    return "\n".join(lines)

@@ -174,8 +174,36 @@ class SynthesisResolver:
     ) -> PlanResponse:
         topology = self._effective_topology(request)
         if request.mode == "pinned":
-            return self._resolve_pinned(request, remaining_s, topology)
-        return self._resolve_routed(request, remaining_s, topology)
+            response = self._resolve_pinned(request, remaining_s, topology)
+        else:
+            response = self._resolve_routed(request, remaining_s, topology)
+        self._record(request, response, topology)
+        return response
+
+    def _record(self, request: PlanRequest, response: PlanResponse, topology) -> None:
+        """One archive record + latency observation per resolution.
+
+        The ``rung`` is the resolver-ladder rung that produced the answer
+        (``cache`` / ``registry`` / ``synthesized`` / ``baseline``) or the
+        failure status; the latency histogram behind ``/v1/stats``'s
+        p50/p95/p99 is labelled the same way.
+        """
+        from ..telemetry import record_run
+
+        rung = response.source if response.ok else response.status
+        get_metrics().observe(
+            "repro_resolver_latency_seconds", response.solve_time_s, rung=rung
+        )
+        record_run(
+            "service",
+            name=f"{request.collective}/{topology.name}",
+            fingerprint=response.request_key,
+            features={"mode": request.mode, "nodes": topology.num_nodes},
+            strategy=self.sweep_strategy,
+            verdict=response.status,
+            wall_s=response.solve_time_s,
+            extra={"rung": rung},
+        )
 
     def _rung(self, rung: str) -> None:
         """Record which ladder rung produced the answer."""
@@ -582,6 +610,7 @@ class PlanningService:
 
     def stats(self) -> Dict[str, object]:
         from ..engine.backends import get_quarantine
+        from ..telemetry import host_context
 
         data: Dict[str, object] = {"broker": self.broker.stats()}
         data["registry"] = self.registry.stats()
@@ -591,6 +620,9 @@ class PlanningService:
         data["faults"] = self.fault_board.snapshot()
         data["quarantine"] = get_quarantine().stats()
         data["engine"] = self._engine_stats()
+        # Where these numbers were measured: archived alongside every run so
+        # the regression sentinel never compares timings across hosts.
+        data["host"] = host_context()
         return data
 
     def _engine_stats(self) -> Dict[str, object]:
@@ -614,6 +646,12 @@ class PlanningService:
                 cache_stats,
                 hit_rate=(cache_stats.get("hits", 0) / lookups) if lookups else 0.0,
             ),
+            "latency": {
+                "resolver_seconds": metrics.quantiles(
+                    "repro_resolver_latency_seconds"
+                ),
+                "solve_seconds": metrics.quantiles("repro_solve_seconds"),
+            },
         }
 
     def reset_stats(self) -> None:

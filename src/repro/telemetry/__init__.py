@@ -10,8 +10,28 @@ Three pieces, all stdlib-only:
   label sets and Prometheus text exposition (served at ``/v1/metrics``).
 * :mod:`~repro.telemetry.logbridge` — one JSONL record per finished span
   through the stdlib ``logging`` module.
+* :mod:`~repro.telemetry.archive` — the *persistent* layer: append-only
+  JSONL run history under ``~/.cache/repro/perf`` (``$REPRO_PERF_DIR``)
+  that probes, sweeps, Pareto runs, service requests and benchmarks record
+  into; the substrate for ``repro perf`` and measured strategy calibration
+  (:mod:`repro.perf`).
 """
 
+from .archive import (
+    ARCHIVE_DIR_ENV,
+    ARCHIVE_DISABLE_ENV,
+    ArchiveError,
+    PerfArchive,
+    RunRecord,
+    default_archive_dir,
+    exact_quantiles,
+    get_archive,
+    host_context,
+    host_fingerprint,
+    record_run,
+    recording_enabled,
+    set_archive,
+)
 from .logbridge import SpanLogBridge, jsonl_logging, log_metrics_snapshot
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -26,6 +46,7 @@ from .tracer import (
     NullTracer,
     Span,
     Tracer,
+    diff_chrome_traces,
     get_tracer,
     iter_spans,
     set_tracer,
@@ -36,20 +57,34 @@ from .tracer import (
 )
 
 __all__ = [
+    "ARCHIVE_DIR_ENV",
+    "ARCHIVE_DISABLE_ENV",
+    "ArchiveError",
     "DEFAULT_BUCKETS",
     "Metrics",
     "MetricsError",
     "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
+    "PerfArchive",
+    "RunRecord",
     "Span",
     "SpanLogBridge",
     "Tracer",
+    "default_archive_dir",
+    "diff_chrome_traces",
+    "exact_quantiles",
+    "get_archive",
     "get_metrics",
     "get_tracer",
+    "host_context",
+    "host_fingerprint",
     "iter_spans",
     "jsonl_logging",
     "log_metrics_snapshot",
+    "record_run",
+    "recording_enabled",
+    "set_archive",
     "set_metrics",
     "set_tracer",
     "span_coverage",

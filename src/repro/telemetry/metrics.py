@@ -53,20 +53,70 @@ def _render_labels(labels: LabelKey, extra: Optional[Tuple[str, str]] = None) ->
 
 
 class _Histogram:
-    __slots__ = ("buckets", "counts", "sum", "count")
+    __slots__ = ("buckets", "counts", "sum", "count", "min", "max")
 
     def __init__(self, buckets: Tuple[float, ...]) -> None:
         self.buckets = buckets
+        # Per-bucket (non-cumulative) counts; exposition cumulates them.
         self.counts = [0] * len(buckets)
         self.sum = 0.0
         self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
 
     def observe(self, value: float) -> None:
         self.sum += value
         self.count += 1
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
         for index, bound in enumerate(self.buckets):
             if value <= bound:
                 self.counts[index] += 1
+                break
+        # Values past the last bound live only in the implicit +Inf bucket.
+
+    def merge(self, other: "_Histogram") -> None:
+        """Fold another histogram in (label-aggregated quantile queries)."""
+        if other.buckets != self.buckets:  # pragma: no cover - one scheme used
+            raise MetricsError("cannot merge histograms with different buckets")
+        self.sum += other.sum
+        self.count += other.count
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile via linear interpolation within buckets.
+
+        The observed min/max clamp the first and last occupied buckets, so
+        single-value and narrow distributions report exact answers instead
+        of bucket-boundary artifacts.
+        """
+        if self.count == 0:
+            return 0.0
+        if self.min == self.max:
+            return self.min
+        target = max(1.0, q * self.count)
+        cumulative = 0.0
+        lower = 0.0
+        for bound, count in zip(self.buckets, self.counts):
+            if count:
+                if cumulative + count >= target:
+                    low = max(lower, self.min)
+                    high = max(low, min(bound, self.max))
+                    fraction = (target - cumulative) / count
+                    return low + fraction * (high - low)
+                cumulative += count
+            lower = bound
+        return self.max  # the +Inf overflow bucket
+
+    def quantiles(self) -> Dict[str, float]:
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
 
 
 class Metrics:
@@ -156,6 +206,30 @@ class Metrics:
                     total += hist.sum
         return total
 
+    def quantiles(
+        self, name: str, quantiles: Tuple[float, ...] = (0.50, 0.95, 0.99),
+        **match,
+    ) -> Dict[str, float]:
+        """Estimated quantiles over all ``name`` series matching ``match``.
+
+        Matching histograms are bucket-merged first, so the answer covers
+        the label-aggregated distribution (e.g. all backends together).
+        Empty when no matching series has observations.
+        """
+        wanted = set(_label_key(match))
+        merged: Optional[_Histogram] = None
+        with self._lock:
+            for (series, labels), hist in self._histograms.items():
+                if series == name and wanted <= set(labels):
+                    if merged is None:
+                        merged = _Histogram(hist.buckets)
+                    merged.merge(hist)
+        if merged is None or merged.count == 0:
+            return {}
+        return {
+            f"p{int(round(q * 100))}": merged.quantile(q) for q in quantiles
+        }
+
     def snapshot(self) -> dict:
         """A JSON-friendly dump of every series (tests and BENCH artifacts)."""
         with self._lock:
@@ -170,10 +244,10 @@ class Metrics:
                     for (name, labels), value in sorted(self._gauges.items())
                 },
                 "histograms": {
-                    f"{name}{_render_labels(labels)}": {
-                        "count": hist.count,
-                        "sum": hist.sum,
-                    }
+                    f"{name}{_render_labels(labels)}": dict(
+                        {"count": hist.count, "sum": hist.sum},
+                        **hist.quantiles(),
+                    )
                     for (name, labels), hist in sorted(self._histograms.items())
                 },
             }
@@ -197,6 +271,7 @@ class Metrics:
                 if name in self._help:
                     lines.append(f"# HELP {name} {self._help[name]}")
                 lines.append(f"# TYPE {name} {kind}")
+                estimates: List[str] = []
                 for labels, value in sorted(by_name[name]):
                     if isinstance(value, _Histogram):
                         cumulative = 0
@@ -212,10 +287,31 @@ class Metrics:
                         lines.append(
                             f"{name}_count{_render_labels(labels)} {value.count}"
                         )
+                        for q_label, q in (("0.5", 0.50), ("0.95", 0.95),
+                                           ("0.99", 0.99)):
+                            ql = _render_labels(labels, ("quantile", q_label))
+                            estimates.append(
+                                f"{name}_estimate{ql} "
+                                f"{_format(value.quantile(q))}"
+                            )
+                        estimates.append(
+                            f"{name}_estimate_sum{_render_labels(labels)} "
+                            f"{_format(value.sum)}"
+                        )
+                        estimates.append(
+                            f"{name}_estimate_count{_render_labels(labels)} "
+                            f"{value.count}"
+                        )
                     else:
                         lines.append(
                             f"{name}{_render_labels(labels)} {_format(value)}"
                         )
+                if estimates:
+                    # Interpolated quantile estimates as a companion summary
+                    # family, so dashboards get p50/p95/p99 without PromQL
+                    # histogram_quantile over the bucket series.
+                    lines.append(f"# TYPE {name}_estimate summary")
+                    lines.extend(estimates)
             lines.append(
                 f"# TYPE repro_metrics_since_timestamp_seconds gauge"
             )

@@ -419,8 +419,12 @@ def spans_to_chrome_trace(spans: Iterable[Span]) -> dict:
     }
 
 
-def summarize_chrome_trace(trace: dict) -> str:
-    """Human-readable digest of a Chrome trace (the ``repro trace`` command)."""
+def summarize_chrome_trace(trace: dict, top: int = 0) -> str:
+    """Human-readable digest of a Chrome trace (the ``repro trace`` command).
+
+    ``top`` > 0 appends the N slowest individual spans (with their args),
+    the first thing to look at when a sweep's wall clock jumps.
+    """
     events = trace.get("traceEvents") or []
     if not events:
         return "empty trace (no events)"
@@ -469,5 +473,77 @@ def summarize_chrome_trace(trace: dict) -> str:
         lines.append("")
         lines.append(
             f"probe coverage: {100.0 * min(1.0, covered / wall):.1f}% of wall extent"
+        )
+    if top > 0:
+        slowest = sorted(
+            (e for e in events if e.get("ph") == "X"),
+            key=lambda e: -float(e.get("dur", 0.0)),
+        )[:top]
+        lines.append("")
+        lines.append(f"top {len(slowest)} slowest spans:")
+        for event in slowest:
+            args = event.get("args") or {}
+            detail = " ".join(
+                f"{k}={args[k]}" for k in sorted(args)
+                if isinstance(args[k], (str, int, float, bool))
+            )
+            lines.append(
+                f"  {float(event.get('dur', 0.0)) / 1e3:>10.2f} ms  "
+                f"{event.get('name', '?'):<14} "
+                f"@{float(event.get('ts', 0.0)) / 1e6:>8.3f}s"
+                + (f"  {detail}" if detail else "")
+            )
+    return "\n".join(lines)
+
+
+def _phase_profile(trace: dict) -> Dict[str, Tuple[int, float]]:
+    """Per-span-name (count, total_s) for one Chrome trace."""
+    profile: Dict[str, Tuple[int, float]] = {}
+    for event in trace.get("traceEvents") or []:
+        if event.get("ph") != "X":
+            continue
+        name = str(event.get("name", "?"))
+        count, total = profile.get(name, (0, 0.0))
+        profile[name] = (count + 1, total + float(event.get("dur", 0.0)) / 1e6)
+    return profile
+
+
+def diff_chrome_traces(a: dict, b: dict, *,
+                       label_a: str = "A", label_b: str = "B") -> str:
+    """Phase-by-phase comparison of two Chrome traces (``repro trace --diff``).
+
+    Lines up the per-span-name totals of both traces and reports the time
+    delta and count drift, sorted by absolute time delta — the phase that
+    moved the most comes first.
+    """
+    profile_a = _phase_profile(a)
+    profile_b = _phase_profile(b)
+    names = sorted(
+        set(profile_a) | set(profile_b),
+        key=lambda n: -abs(
+            profile_b.get(n, (0, 0.0))[1] - profile_a.get(n, (0, 0.0))[1]
+        ),
+    )
+    if not names:
+        return "both traces are empty (no complete events)"
+    wall_a = sum(t for _, t in profile_a.values())
+    wall_b = sum(t for _, t in profile_b.values())
+    lines = [
+        f"{label_a}: {sum(c for c, _ in profile_a.values())} events, "
+        f"{wall_a:.3f}s total span time",
+        f"{label_b}: {sum(c for c, _ in profile_b.values())} events, "
+        f"{wall_b:.3f}s total span time",
+        "",
+        f"{'span':<14} {'count ' + label_a:>9} {'count ' + label_b:>9} "
+        f"{'total_s ' + label_a:>11} {'total_s ' + label_b:>11} {'delta_s':>10}",
+    ]
+    for name in names:
+        count_a, total_a = profile_a.get(name, (0, 0.0))
+        count_b, total_b = profile_b.get(name, (0, 0.0))
+        delta = total_b - total_a
+        rel = f" ({100.0 * delta / total_a:+.0f}%)" if total_a > 0 else ""
+        lines.append(
+            f"{name:<14} {count_a:>9} {count_b:>9} "
+            f"{total_a:>11.3f} {total_b:>11.3f} {delta:>+10.3f}{rel}"
         )
     return "\n".join(lines)

@@ -1,0 +1,246 @@
+"""ProbeTimeModel tests: determinism, cold start, and the frontier-identity
+property — calibrated ``strategy="auto"`` may change *which dispatcher
+runs*, never the frontier bytes it commits."""
+
+import json
+
+import pytest
+
+from repro.core import pareto_synthesize
+from repro.core.pareto import resolve_strategy
+from repro.perf import (
+    KNOWN_STRATEGIES,
+    ProbeTimeModel,
+    ambient_model,
+    feature_key,
+    set_ambient_model,
+    strategy_features,
+)
+from repro.telemetry.archive import (
+    PerfArchive,
+    RunRecord,
+    host_context,
+)
+from repro.topology import ring
+
+
+FEATURES = {"nodes": 4, "k": 0, "chunks": 0}
+
+
+def _pareto_record(strategy, wall_s, *, features=FEATURES, host=None, **over):
+    fields = dict(
+        kind="pareto",
+        name="Allgather/ring:4",
+        features=dict(features),
+        strategy=strategy,
+        wall_s=wall_s,
+        host=host if host is not None else host_context(),
+    )
+    fields.update(over)
+    return RunRecord(**fields)
+
+
+def _history(fast, slow, *, samples=3, ratio=10.0):
+    """A history where ``fast`` is consistently ``ratio`` times quicker."""
+    records = []
+    for index in range(samples):
+        base = 0.1 + 0.01 * index
+        records.append(_pareto_record(fast, base))
+        records.append(_pareto_record(slow, base * ratio))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Feature buckets
+# ----------------------------------------------------------------------
+def test_strategy_features_bucket_shape():
+    assert strategy_features(ring(4), k=1, max_chunks=2) == {
+        "nodes": 4, "k": 1, "chunks": 2,
+    }
+    assert strategy_features(ring(6)) == {"nodes": 6, "k": 0, "chunks": 0}
+    assert feature_key({"k": 1, "nodes": 4, "chunks": 0}) \
+        == feature_key({"nodes": 4, "chunks": 0, "k": 1})
+
+
+# ----------------------------------------------------------------------
+# Determinism and the pick rule
+# ----------------------------------------------------------------------
+def test_prediction_is_order_independent():
+    records = _history("serial", "incremental")
+    forward = ProbeTimeModel(records)
+    backward = ProbeTimeModel(reversed(records))
+    assert forward.predict(FEATURES) == backward.predict(FEATURES) == "serial"
+    assert forward.report() == backward.report()
+
+
+def test_pick_uses_median_not_mean():
+    # serial: median 0.1 but one huge outlier; parallel: flat 0.5.
+    records = [
+        _pareto_record("serial", 0.1),
+        _pareto_record("serial", 0.1),
+        _pareto_record("serial", 100.0),
+        _pareto_record("parallel", 0.5),
+        _pareto_record("parallel", 0.5),
+        _pareto_record("parallel", 0.5),
+    ]
+    assert ProbeTimeModel(records).predict(FEATURES) == "serial"
+
+
+def test_tie_breaks_lexicographically():
+    records = _history("parallel", "speculative", ratio=1.0)
+    assert ProbeTimeModel(records).predict(FEATURES) == "parallel"
+
+
+def test_cold_start_returns_none():
+    assert ProbeTimeModel([]).predict(FEATURES) is None
+    # One strategy's history alone proves nothing about alternatives.
+    one_sided = ProbeTimeModel([_pareto_record("serial", 0.1)] * 5)
+    assert one_sided.predict(FEATURES) is None
+    # Two strategies but under min_samples each: still cold.
+    thin = ProbeTimeModel(
+        [_pareto_record("serial", 0.1), _pareto_record("parallel", 0.2)],
+        min_samples=2,
+    )
+    assert thin.predict(FEATURES) is None
+
+
+def test_ingest_rejects_uncalibratable_records():
+    model = ProbeTimeModel()
+    assert not model.ingest(RunRecord(kind="sweep", strategy="serial", wall_s=1.0,
+                                      features=FEATURES))
+    assert not model.ingest(_pareto_record("auto", 1.0))          # not concrete
+    assert not model.ingest(_pareto_record("serial", 0.0))        # no timing
+    assert not model.ingest(_pareto_record("serial", 1.0, features={}))
+    assert len(model) == 0
+
+
+def test_foreign_host_records_never_calibrate():
+    from repro.telemetry.archive import host_fingerprint
+
+    alien = {"hostname": "big-box", "cpu_count": 96, "python": "3.12.0"}
+    records = _history("serial", "incremental")
+    # A much faster foreign history for the *other* strategy must not leak in.
+    records += [
+        _pareto_record("incremental", 0.001, host=alien) for _ in range(10)
+    ]
+    model = ProbeTimeModel(records, host=host_fingerprint())
+    assert model.predict(FEATURES) == "serial"
+    assert model.ingested == len(_history("serial", "incremental"))
+
+
+def test_different_feature_buckets_do_not_mix():
+    records = _history("serial", "incremental")
+    other = {"nodes": 8, "k": 0, "chunks": 0}
+    model = ProbeTimeModel(records)
+    assert model.predict(other) is None
+
+
+def test_report_marks_the_pick():
+    model = ProbeTimeModel(_history("serial", "incremental"))
+    rows = model.report()
+    picked = {row["strategy"]: row["picked"] for row in rows}
+    assert picked == {"serial": True, "incremental": False}
+    assert all(row["count"] == 3 for row in rows)
+
+
+# ----------------------------------------------------------------------
+# resolve_strategy: measured pick with static fallback
+# ----------------------------------------------------------------------
+def test_resolve_strategy_switches_on_contrasting_histories():
+    """The acceptance criterion: two opposite histories, two picks."""
+    features = strategy_features(ring(4))
+    serial_wins = ProbeTimeModel(_history("serial", "incremental"))
+    incremental_wins = ProbeTimeModel(_history("incremental", "serial"))
+    assert serial_wins.predict(features) == "serial"
+    assert incremental_wins.predict(features) == "incremental"
+
+    pick_a = resolve_strategy(ring(4), cpu_count=8, model=serial_wins)
+    pick_b = resolve_strategy(ring(4), cpu_count=8, model=incremental_wins)
+    assert (pick_a, pick_b) == ("serial", "incremental")
+
+
+def test_resolve_strategy_static_fallback_when_cold():
+    cold = ProbeTimeModel([])
+    measured = resolve_strategy(ring(4), cpu_count=8, model=cold)
+    static = resolve_strategy(ring(4), cpu_count=8, model="off")
+    assert measured == static == "incremental"
+    # Large instances still escalate under the static thresholds.
+    assert resolve_strategy(ring(8), cpu_count=8, model=cold) == "speculative"
+
+
+def test_serial_guard_beats_the_model():
+    # Even a history that says "speculative" loses to a one-core host.
+    model = ProbeTimeModel(_history("speculative", "serial"))
+    assert resolve_strategy(ring(4), cpu_count=1, model=model) == "serial"
+    assert resolve_strategy(ring(4), cpu_count=8, max_workers=1, model=model) \
+        == "serial"
+
+
+def test_broken_model_falls_back_to_static():
+    class Exploding:
+        def predict(self, features):
+            raise RuntimeError("archive on fire")
+
+    assert resolve_strategy(ring(4), cpu_count=8, model=Exploding()) \
+        == resolve_strategy(ring(4), cpu_count=8, model="off")
+
+
+def test_model_recommending_garbage_is_ignored():
+    class Liar:
+        def predict(self, features):
+            return "quantum"
+
+    assert resolve_strategy(ring(4), cpu_count=8, model=Liar()) \
+        == resolve_strategy(ring(4), cpu_count=8, model="off")
+
+
+# ----------------------------------------------------------------------
+# The ambient model
+# ----------------------------------------------------------------------
+def test_ambient_model_reads_archive_and_tracks_changes(tmp_path):
+    archive = PerfArchive(tmp_path / "perf")
+    model = ambient_model(archive)
+    assert model.predict(FEATURES) is None
+
+    for record in _history("serial", "incremental"):
+        record.host = {}  # stamp with the real host at append time
+        archive.append(record)
+    # The memo keys on segment (name, size, mtime): new appends invalidate.
+    refreshed = ambient_model(archive)
+    assert refreshed is not model
+    assert refreshed.predict(FEATURES) == "serial"
+    # No change -> the cached model comes back without a reload.
+    assert ambient_model(archive) is refreshed
+
+
+def test_set_ambient_model_override():
+    pinned = ProbeTimeModel(_history("serial", "incremental"))
+    previous = set_ambient_model(pinned)
+    try:
+        assert ambient_model() is pinned
+        assert resolve_strategy(ring(4), cpu_count=8) == "serial"
+    finally:
+        set_ambient_model(previous)
+
+
+# ----------------------------------------------------------------------
+# Frontier identity: the property calibration must preserve
+# ----------------------------------------------------------------------
+def _frontier_bytes(**kwargs):
+    frontier = pareto_synthesize("Allgather", ring(4), k=0, max_steps=3, **kwargs)
+    return json.dumps(frontier.to_dict(include_timing=False), sort_keys=True)
+
+
+def test_calibrated_auto_never_changes_frontier_bytes():
+    """Whatever the model picks, the committed frontier is byte-identical."""
+    reference = _frontier_bytes(strategy="serial")
+    assert _frontier_bytes(strategy="incremental") == reference
+
+    for winner in ("serial", "incremental"):
+        loser = "incremental" if winner == "serial" else "serial"
+        previous = set_ambient_model(ProbeTimeModel(_history(winner, loser)))
+        try:
+            assert resolve_strategy(ring(4), cpu_count=8) == winner
+            assert _frontier_bytes(strategy="auto") == reference
+        finally:
+            set_ambient_model(previous)

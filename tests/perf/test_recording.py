@@ -1,0 +1,102 @@
+"""End-to-end producer wiring: a real Pareto run populates the archive with
+``probe``/``sweep``/``pareto`` rows carrying phase splits, and a planning
+request adds a ``service`` row — the raw material for ``repro perf``."""
+
+import pytest
+
+from repro.core import pareto_synthesize
+from repro.telemetry.archive import PerfArchive, set_archive
+from repro.topology import ring
+
+
+@pytest.fixture
+def archive(tmp_path):
+    archive = PerfArchive(tmp_path / "perf")
+    previous = set_archive(archive)
+    try:
+        yield archive
+    finally:
+        set_archive(previous)
+
+
+def test_pareto_run_records_sweeps_and_pareto(archive):
+    frontier = pareto_synthesize("Allgather", ring(4), k=0, max_steps=3)
+    assert frontier.points
+
+    pareto = archive.records(kind="pareto")
+    assert len(pareto) == 1
+    record = pareto[0]
+    assert record.name == "Allgather/ring4"
+    assert record.features == {"nodes": 4, "k": 0, "chunks": 0}
+    assert record.strategy in ("serial", "incremental", "parallel",
+                               "speculative")
+    assert record.verdict == "sat"
+    assert record.wall_s > 0
+    assert set(record.phases) == {"encode_s", "solve_s", "verify_s"}
+    assert record.extra["points"] == len(frontier.points)
+
+    sweeps = archive.records(kind="sweep")
+    assert sweeps and all(r.strategy for r in sweeps)
+    assert all(r.features["nodes"] == 4 for r in sweeps)
+    assert {r.name for r in sweeps} >= {"Allgather/ring4/S2"}
+
+
+def test_direct_synthesize_records_a_probe(archive):
+    from repro.core import make_instance, synthesize
+    from repro.solver import SolveResult
+
+    instance = make_instance("Allgather", ring(4), 1, 2, 3)
+    result = synthesize(instance)
+    assert result.status == SolveResult.SAT
+
+    probes = archive.records(kind="probe")
+    assert len(probes) == 1
+    probe = probes[0]
+    assert probe.name == "Allgather/ring4/C1S2R3"
+    assert probe.fingerprint
+    assert probe.verdict == "sat"
+    assert probe.features == {"nodes": 4, "C": 1, "S": 2, "R": 3}
+
+
+def test_cache_replays_do_not_rerecord_probes(archive, tmp_path):
+    from repro.engine import AlgorithmCache
+
+    from repro.core import make_instance, synthesize
+
+    cache = AlgorithmCache(tmp_path / "cache")
+    instance = make_instance("Allgather", ring(4), 1, 2, 3)
+    synthesize(instance, cache=cache)
+    assert len(archive.records(kind="probe")) == 1
+    # The warm run replays from the cache: the replay carries the *original*
+    # solve timings, which would skew the distributions — not re-recorded.
+    replay = synthesize(instance, cache=cache)
+    assert replay.cache_hit
+    assert len(archive.records(kind="probe")) == 1
+
+    # Pareto runs over a warm cache still record their own pareto row and
+    # declare the replays.
+    pareto_synthesize("Allgather", ring(4), k=0, max_steps=3, cache=cache)
+    pareto_synthesize("Allgather", ring(4), k=0, max_steps=3, cache=cache)
+    pareto = archive.records(kind="pareto")
+    assert len(pareto) == 2
+    assert pareto[1].extra["cache_replays"] > 0
+
+
+def test_service_requests_record_resolver_rung(archive, tmp_path):
+    from repro.engine import AlgorithmCache
+    from repro.service import PlanRegistry, PlanRequest, SynthesisResolver
+
+    registry = PlanRegistry(
+        cache=AlgorithmCache(tmp_path / "algorithms"),
+        routes_dir=tmp_path / "routes",
+    )
+    resolver = SynthesisResolver(registry)
+    request = PlanRequest("Allgather", "ring:4", chunks=1, steps=2, rounds=3)
+    assert resolver(request, None).ok
+    assert resolver(request, None).ok  # warm: served without solving
+
+    rows = archive.records(kind="service")
+    assert len(rows) == 2
+    assert [r.extra["rung"] for r in rows] == ["synthesized", "cache"]
+    assert all(r.name == "Allgather/ring4" for r in rows)
+    assert all(r.fingerprint for r in rows)

@@ -1,0 +1,262 @@
+"""Performance archive tests: round-trip, corruption tolerance, concurrency.
+
+The archive is the substrate everything in ``repro.perf`` stands on — the
+regression sentinel and the probe-time model both read it cold — so these
+tests pin the storage contract: whole-line appends from many processes,
+torn tails skipped (and counted) on read, recording that never raises.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.telemetry.archive import (
+    ARCHIVE_DISABLE_ENV,
+    ArchiveError,
+    PerfArchive,
+    RunRecord,
+    exact_quantiles,
+    get_archive,
+    host_context,
+    host_fingerprint,
+    record_run,
+    set_archive,
+)
+
+
+@pytest.fixture
+def archive(tmp_path):
+    return PerfArchive(tmp_path / "perf")
+
+
+# ----------------------------------------------------------------------
+# Round trip
+# ----------------------------------------------------------------------
+def test_append_and_read_back_round_trip(archive):
+    record = RunRecord(
+        kind="pareto",
+        name="Allgather/ring:4",
+        fingerprint="abc123",
+        features={"nodes": 4, "k": 1, "chunks": 0},
+        strategy="incremental",
+        backend="cdcl",
+        verdict="sat",
+        wall_s=1.25,
+        phases={"encode_s": 0.5, "solve_s": 0.6, "verify_s": 0.15},
+        quantiles={"solve_p50": 0.1, "solve_p95": 0.3, "solve_p99": 0.4},
+        extra={"points": 3},
+    )
+    assert archive.append(record)
+    # append stamps the bookkeeping fields.
+    assert record.run_id and record.session and record.created_at > 0
+    assert record.host == host_context()
+
+    loaded = archive.records()
+    assert len(loaded) == 1
+    back = loaded[0]
+    assert back.kind == "pareto"
+    assert back.features == {"nodes": 4, "k": 1, "chunks": 0}
+    assert back.phases["solve_s"] == pytest.approx(0.6)
+    assert back.quantiles["solve_p95"] == pytest.approx(0.3)
+    assert back.run_id == record.run_id
+    assert back.host_key() == host_fingerprint()
+
+
+def test_records_filter_by_kind_and_host(archive):
+    archive.append(RunRecord(kind="probe", name="a", wall_s=0.1))
+    archive.append(RunRecord(kind="sweep", name="b", wall_s=0.2))
+    alien = RunRecord(
+        kind="probe", name="c", wall_s=0.3,
+        host={"hostname": "elsewhere", "cpu_count": 64, "python": "3.0.0"},
+    )
+    archive.append(alien)
+
+    assert [r.name for r in archive.records(kind="probe")] == ["a", "c"]
+    mine = archive.records(kind="probe", host=host_fingerprint())
+    assert [r.name for r in mine] == ["a"]
+    assert [r.name for r in archive.records(predicate=lambda r: r.wall_s > 0.15)] \
+        == ["b", "c"]
+
+
+def test_find_by_prefix_and_at_address(archive):
+    first = RunRecord(kind="bench", name="one", fingerprint="feedbeef01")
+    second = RunRecord(kind="bench", name="two", fingerprint="cafebabe02")
+    archive.append(first)
+    archive.append(second)
+
+    assert [r.name for r in archive.find(first.run_id)] == ["one"]
+    assert [r.name for r in archive.find("feedbeef")] == ["one"]
+    assert [r.name for r in archive.find("@0")] == ["two"]  # latest
+    assert [r.name for r in archive.find("@1")] == ["one"]
+    with pytest.raises(ArchiveError):
+        archive.find("@99")
+    with pytest.raises(ArchiveError):
+        archive.find("@nope")
+
+
+def test_stats_and_prune(archive):
+    archive.append(RunRecord(kind="probe", name="p"))
+    archive.append(RunRecord(kind="bench", name="b"))
+    stats = archive.stats()
+    assert stats["records"] == 2
+    assert stats["kinds"] == {"probe": 1, "bench": 1}
+    assert stats["segments"] == 1 and stats["bytes"] > 0
+
+    # Nothing younger than the horizon goes away; everything older does.
+    assert archive.prune(max_age_s=3600) == []
+    removed = archive.prune(max_age_s=0.0, now=time.time() + 10)
+    assert len(removed) == 1
+    assert archive.records() == []
+
+
+# ----------------------------------------------------------------------
+# Corruption tolerance
+# ----------------------------------------------------------------------
+def test_truncated_tail_is_skipped_and_counted(archive):
+    archive.append(RunRecord(kind="probe", name="intact-1"))
+    archive.append(RunRecord(kind="probe", name="intact-2"))
+    segment = archive.segments()[0]
+    # A writer killed mid-append leaves half a line with no newline.
+    with open(segment, "a", encoding="utf-8") as handle:
+        handle.write('{"kind": "probe", "name": "torn')
+
+    loaded = archive.records()
+    assert [r.name for r in loaded] == ["intact-1", "intact-2"]
+    assert archive.corrupt_lines == 1
+    assert archive.stats()["corrupt_lines"] == 1
+    # The archive stays appendable after the torn tail: the next record
+    # starts on its own line or is itself skipped — never both lost.
+    archive.append(RunRecord(kind="probe", name="after"))
+    names = [r.name for r in archive.records()]
+    assert names[:2] == ["intact-1", "intact-2"]
+    assert archive.corrupt_lines >= 1
+
+
+def test_garbage_lines_do_not_break_reads(archive):
+    archive.append(RunRecord(kind="probe", name="good"))
+    segment = archive.segments()[0]
+    with open(segment, "a", encoding="utf-8") as handle:
+        handle.write("not json at all\n")
+        handle.write('{"no": "kind field"}\n')
+        handle.write("\n")  # blank lines are not corruption
+        handle.write('{"kind": "probe", "name": "also-good"}\n')
+
+    assert [r.name for r in archive.records()] == ["good", "also-good"]
+    assert archive.corrupt_lines == 2
+
+
+def test_missing_directory_reads_empty(tmp_path):
+    archive = PerfArchive(tmp_path / "never-created")
+    assert archive.records() == []
+    assert archive.segments() == []
+    assert archive.stats()["records"] == 0
+
+
+def test_from_json_tolerates_unknown_fields():
+    record = RunRecord.from_json(
+        {"kind": "probe", "name": "x", "wall_s": "1.5", "future_field": True}
+    )
+    assert record.name == "x"
+    assert record.wall_s == pytest.approx(1.5)
+    with pytest.raises(ArchiveError):
+        RunRecord.from_json({"name": "missing kind"})
+
+
+# ----------------------------------------------------------------------
+# Concurrency: several processes appending into one archive
+# ----------------------------------------------------------------------
+_WRITER = """
+import sys
+from repro.telemetry.archive import PerfArchive, RunRecord
+archive = PerfArchive(sys.argv[1])
+writer, count = sys.argv[2], int(sys.argv[3])
+for index in range(count):
+    assert archive.append(RunRecord(kind="probe", name=f"{writer}-{index}"))
+"""
+
+
+def test_concurrent_multiprocess_appends_interleave_whole_lines(tmp_path):
+    root = tmp_path / "perf"
+    writers, per_writer = 4, 25
+    env = dict(os.environ, PYTHONPATH="src")
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", _WRITER, str(root), f"w{i}", str(per_writer)],
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+        for i in range(writers)
+    ]
+    for proc in procs:
+        assert proc.wait(timeout=60) == 0
+
+    archive = PerfArchive(root)
+    records = archive.records()
+    assert archive.corrupt_lines == 0
+    assert len(records) == writers * per_writer
+    # Every record from every writer survived, none torn or interleaved.
+    names = {r.name for r in records}
+    assert names == {
+        f"w{i}-{j}" for i in range(writers) for j in range(per_writer)
+    }
+    # All lines in the segment parse as standalone JSON objects.
+    for segment in archive.segments():
+        for line in segment.read_text().splitlines():
+            assert json.loads(line)["kind"] == "probe"
+
+
+# ----------------------------------------------------------------------
+# The ambient record hook
+# ----------------------------------------------------------------------
+def test_record_run_writes_to_ambient_archive(tmp_path):
+    previous = set_archive(PerfArchive(tmp_path / "perf"))
+    try:
+        record = record_run("service", name="req", wall_s=0.01)
+        assert record is not None
+        assert [r.name for r in get_archive().records(kind="service")] == ["req"]
+    finally:
+        set_archive(previous)
+
+
+def test_record_run_disabled_by_env(tmp_path, monkeypatch):
+    previous = set_archive(PerfArchive(tmp_path / "perf"))
+    try:
+        monkeypatch.setenv(ARCHIVE_DISABLE_ENV, "1")
+        assert record_run("service", name="req") is None
+        assert get_archive().records() == []
+    finally:
+        set_archive(previous)
+
+
+def test_record_run_never_raises_on_bad_fields(tmp_path):
+    previous = set_archive(PerfArchive(tmp_path / "perf"))
+    try:
+        # Unknown dataclass fields would raise TypeError — swallowed.
+        assert record_run("probe", not_a_field=object()) is None
+    finally:
+        set_archive(previous)
+
+
+def test_record_run_survives_unwritable_root(tmp_path):
+    blocked = tmp_path / "blocked"
+    blocked.write_text("a file where the directory should be\n")
+    previous = set_archive(PerfArchive(blocked / "perf"))
+    try:
+        assert record_run("probe", name="x") is None  # failed, silently
+    finally:
+        set_archive(previous)
+
+
+# ----------------------------------------------------------------------
+# exact_quantiles
+# ----------------------------------------------------------------------
+def test_exact_quantiles_ceil_rank():
+    values = list(range(1, 101))  # 1..100
+    q = exact_quantiles(values)
+    assert q == {"p50": 50, "p95": 95, "p99": 99}
+    assert exact_quantiles([]) == {}
+    assert exact_quantiles([7.0]) == {"p50": 7.0, "p95": 7.0, "p99": 7.0}

@@ -97,8 +97,62 @@ def test_snapshot_is_json_friendly():
     metrics.observe("repro_solve_seconds", 0.5)
     snapshot = json.loads(json.dumps(metrics.snapshot()))
     assert snapshot["counters"] == {'repro_solver_calls_total{backend="cdcl"}': 1.0}
-    assert snapshot["histograms"]["repro_solve_seconds"] == {"count": 1, "sum": 0.5}
+    hist = snapshot["histograms"]["repro_solve_seconds"]
+    assert hist["count"] == 1 and hist["sum"] == 0.5
+    # A single observation pins every quantile to the observed value.
+    assert hist["p50"] == hist["p95"] == hist["p99"] == pytest.approx(0.5)
     assert snapshot["since"] == pytest.approx(metrics.since)
+
+
+# ----------------------------------------------------------------------
+# Quantile estimation (satellite: p50/p95/p99 from histogram buckets)
+# ----------------------------------------------------------------------
+def test_quantiles_interpolate_within_buckets():
+    metrics = Metrics()
+    for value in (0.004, 0.04, 0.4, 4.0):
+        metrics.observe("repro_solve_seconds", value, backend="cdcl")
+    q = metrics.quantiles("repro_solve_seconds", backend="cdcl")
+    assert set(q) == {"p50", "p95", "p99"}
+    # Monotone, bracketed by the observed extremes.
+    assert 0.004 <= q["p50"] <= q["p95"] <= q["p99"] <= 4.0
+
+
+def test_quantiles_merge_across_label_sets():
+    metrics = Metrics()
+    metrics.observe("repro_solve_seconds", 0.001, backend="cdcl")
+    metrics.observe("repro_solve_seconds", 8.0, backend="dpll")
+    merged = metrics.quantiles("repro_solve_seconds")
+    assert merged["p99"] >= merged["p50"] >= 0.001
+    # Filtering by label uses only that series.
+    only = metrics.quantiles("repro_solve_seconds", backend="cdcl")
+    assert only["p50"] == pytest.approx(0.001)
+
+
+def test_quantiles_unknown_series_is_empty():
+    assert Metrics().quantiles("repro_solve_seconds") == {}
+
+
+def test_prometheus_estimate_family():
+    metrics = Metrics()
+    for value in (0.004, 0.04, 0.4, 4.0):
+        metrics.observe("repro_solve_seconds", value, backend="cdcl")
+    text = metrics.render_prometheus()
+    assert "# TYPE repro_solve_seconds_estimate summary" in text
+    assert 'repro_solve_seconds_estimate{backend="cdcl",quantile="0.5"}' in text
+    assert 'repro_solve_seconds_estimate{backend="cdcl",quantile="0.99"}' in text
+    assert 'repro_solve_seconds_estimate_count{backend="cdcl"} 4' in text
+
+
+def test_histogram_buckets_are_per_bucket_counts():
+    """Intermediate cumulative bucket lines must be correct, not just the
+    first and +Inf ones (a double-cumulation bug once hid here)."""
+    metrics = Metrics()
+    for value in (0.004, 0.04, 0.4, 4.0):
+        metrics.observe("repro_solve_seconds", value, backend="cdcl")
+    text = metrics.render_prometheus()
+    assert 'repro_solve_seconds_bucket{backend="cdcl",le="0.01"} 1' in text
+    assert 'repro_solve_seconds_bucket{backend="cdcl",le="0.05"} 2' in text
+    assert 'repro_solve_seconds_bucket{backend="cdcl",le="0.5"} 3' in text
 
 
 # ----------------------------------------------------------------------
